@@ -1,0 +1,92 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index).
+
+   Part 1 prints the reproduction tables — simulated time versus the
+   paper's measurements — at full sample sizes.  Part 2 wraps each
+   experiment in a Bechamel microbenchmark so the wall-clock cost of
+   the simulation itself is tracked (one Test.make per table/figure).
+
+   dune exec bench/main.exe            -- tables + bechamel
+   dune exec bench/main.exe -- tables  -- reproduction tables only
+   dune exec bench/main.exe -- bench   -- bechamel only *)
+
+open Bechamel
+open Toolkit
+
+let reproduction_tables () =
+  print_endline "Clouds reproduction: paper vs simulation";
+  print_endline "========================================\n";
+  print_string (Experiments.T1_kernel.report (Experiments.T1_kernel.run ()));
+  print_newline ();
+  print_string (Experiments.T2_network.report (Experiments.T2_network.run ()));
+  print_newline ();
+  print_string
+    (Experiments.T3_invocation.report (Experiments.T3_invocation.run ()));
+  print_newline ();
+  print_string (Experiments.F1_sort.report (Experiments.F1_sort.run ()));
+  print_newline ();
+  print_string
+    (Experiments.F2_consistency.report (Experiments.F2_consistency.run ()));
+  print_newline ();
+  print_string (Experiments.F3_pet.report (Experiments.F3_pet.run ~trials:25 ()));
+  print_newline ();
+  print_string (Experiments.Ablations.report ());
+  print_newline ()
+
+(* One Bechamel test per table/figure; each run executes the whole
+   simulated experiment at a reduced size so a benchmark iteration
+   stays sub-second. *)
+let bechamel_tests =
+  Test.make_grouped ~name:"clouds-repro"
+    [
+      Test.make ~name:"T1-kernel"
+        (Staged.stage (fun () ->
+             ignore (Experiments.T1_kernel.run ~samples:10 ())));
+      Test.make ~name:"T2-network"
+        (Staged.stage (fun () ->
+             ignore (Experiments.T2_network.run ~samples:5 ())));
+      Test.make ~name:"T3-invoke"
+        (Staged.stage (fun () ->
+             ignore (Experiments.T3_invocation.run ~invocations:20 ())));
+      Test.make ~name:"F1-sort"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.F1_sort.run ~elements:4096 ~worker_counts:[ 1; 4 ] ())));
+      Test.make ~name:"F2-consistency"
+        (Staged.stage (fun () ->
+             ignore (Experiments.F2_consistency.run ~samples:6 ())));
+      Test.make ~name:"F3-pet"
+        (Staged.stage (fun () ->
+             ignore (Experiments.F3_pet.run ~trials:3 ())));
+    ]
+
+let run_bechamel () =
+  print_endline "Bechamel: wall-clock cost of each simulated experiment";
+  print_endline "=======================================================";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false
+      ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances bechamel_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+          Printf.printf "  %-28s %10.2f ms/run\n" name (est /. 1e6)
+      | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "tables" -> reproduction_tables ()
+  | "bench" -> run_bechamel ()
+  | _ ->
+      reproduction_tables ();
+      run_bechamel ()

@@ -1,0 +1,1 @@
+bin/clouds_shell.mli:

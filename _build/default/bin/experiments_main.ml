@@ -1,0 +1,60 @@
+(* Run the reproduction of every table and figure in the paper's
+   evaluation and print paper-vs-measured.
+
+   dune exec bin/experiments_main.exe            -- everything
+   dune exec bin/experiments_main.exe -- t1 f3   -- a subset
+   dune exec bin/experiments_main.exe -- --quick -- smaller samples *)
+
+open Cmdliner
+
+let all_ids = [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "ablations" ]
+
+let run_one ~quick id =
+  match id with
+  | "t1" ->
+      let samples = if quick then 20 else 100 in
+      print_string (Experiments.T1_kernel.report (Experiments.T1_kernel.run ~samples ()))
+  | "t2" ->
+      let samples = if quick then 10 else 50 in
+      print_string
+        (Experiments.T2_network.report (Experiments.T2_network.run ~samples ()))
+  | "t3" ->
+      let invocations = if quick then 50 else 200 in
+      print_string
+        (Experiments.T3_invocation.report
+           (Experiments.T3_invocation.run ~invocations ()))
+  | "f1" ->
+      let elements = if quick then 8_192 else 16_384 in
+      print_string (Experiments.F1_sort.report (Experiments.F1_sort.run ~elements ()))
+  | "f2" ->
+      let samples = if quick then 9 else 30 in
+      print_string
+        (Experiments.F2_consistency.report
+           (Experiments.F2_consistency.run ~samples ()))
+  | "f3" ->
+      let trials = if quick then 8 else 25 in
+      print_string (Experiments.F3_pet.report (Experiments.F3_pet.run ~trials ()))
+  | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
+  | other -> Printf.eprintf "unknown experiment %S (know: %s)\n" other (String.concat " " all_ids)
+
+let main quick ids =
+  let ids = match ids with [] -> all_ids | ids -> List.map String.lowercase_ascii ids in
+  print_endline "Clouds reproduction: paper vs simulation";
+  print_endline "========================================\n";
+  List.iter
+    (fun id ->
+      run_one ~quick id;
+      print_newline ())
+    ids
+
+let cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sample counts.")
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce the Clouds paper's evaluation tables and figures")
+    Term.(const main $ quick $ ids)
+
+let () = exit (Cmd.eval cmd)

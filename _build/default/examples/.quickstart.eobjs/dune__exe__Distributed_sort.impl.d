@@ -1,0 +1,1 @@
+examples/distributed_sort.ml: Apps Clouds List Printf Sim

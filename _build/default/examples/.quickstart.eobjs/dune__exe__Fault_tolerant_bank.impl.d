@@ -1,0 +1,1 @@
+examples/fault_tolerant_bank.ml: Array Atomicity Clouds Cluster Ctx Memory Obj_class Object_manager Option Pet Printf Ra Ratp Sim String Value

@@ -1,0 +1,1 @@
+examples/files_and_messages.ml: Apps Array Clouds Cluster List Printf Ra Sim String Value

@@ -1,0 +1,1 @@
+examples/files_and_messages.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clouds Cluster Ctx Memory Name_server Obj_class Object_manager Printf Ra Sim Terminal Thread Value

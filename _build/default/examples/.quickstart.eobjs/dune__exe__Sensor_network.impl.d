@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Apps Array Clouds Cluster Ctx List Memory Name_server Obj_class Object_manager Option Printf Sim String Value

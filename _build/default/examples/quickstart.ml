@@ -1,0 +1,87 @@
+(* Quickstart: the paper's §2.4 programming example, end to end.
+
+   We boot a small Clouds cluster (one data server, two compute
+   servers, one user workstation), write the "rectangle" class, create
+   an instance, register it with the name server as "Rect01", and then
+   do exactly what the paper's code fragment does:
+
+     rect.bind("Rect01");
+     rect.size(5, 10);
+     printf("%d\n", rect.area());   // prints 50
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Clouds
+
+(* A Clouds class is a compiled program module: persistent data plus
+   entry points.  The rectangle keeps x at byte 0 and y at byte 8 of
+   its persistent data segment. *)
+let rectangle =
+  Obj_class.define ~name:"rectangle"
+    [
+      Obj_class.entry "size" (fun ctx arg ->
+          let x, y = Value.to_pair arg in
+          Memory.set_int ctx.Ctx.mem 0 (Value.to_int x);
+          Memory.set_int ctx.Ctx.mem 8 (Value.to_int y);
+          Value.Unit);
+      Obj_class.entry "area" (fun ctx _ ->
+          Value.Int
+            (Memory.get_int ctx.Ctx.mem 0 * Memory.get_int ctx.Ctx.mem 8));
+    ]
+
+let () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let sys = Clouds.boot eng ~compute:2 ~data:1 ~workstations:1 () in
+
+      (* "compile" the class onto a data server *)
+      Cluster.register_class sys.cluster rectangle;
+
+      (* instantiate it and give it a user-level name *)
+      let rect = Object_manager.create_object sys.om ~class_name:"rectangle" Value.Unit in
+      Name_server.bind sys.om ~name:"Rect01" rect;
+      Printf.printf "created %s, bound as \"Rect01\"\n"
+        (Ra.Sysname.to_string rect);
+
+      (* a user at the workstation looks the object up and invokes it *)
+      let wk, term = sys.cluster.Cluster.workstations.(0) in
+      Terminal.set_echo term true;
+      match Name_server.lookup sys.om "Rect01" with
+      | None -> failwith "name server lost the binding"
+      | Some bound ->
+          let t1 =
+            Thread.start sys.om ~origin:wk.Ra.Node.id ~obj:bound ~entry:"size"
+              (Value.Pair (Value.Int 5, Value.Int 10))
+          in
+          ignore (Thread.join t1);
+
+          (* the object is persistent: a second thread, scheduled on a
+             different compute server, sees the same state through
+             distributed shared memory *)
+          let report =
+            Obj_class.define ~name:"report"
+              [
+                Obj_class.entry "print_area" (fun ctx arg ->
+                    let area =
+                      Value.to_int
+                        (ctx.Ctx.invoke ~obj:(Value.to_sysname arg)
+                           ~entry:"area" Value.Unit)
+                    in
+                    ctx.Ctx.print (Printf.sprintf "%d" area);
+                    Value.Int area);
+              ]
+          in
+          Cluster.register_class sys.cluster report;
+          let reporter =
+            Object_manager.create_object sys.om ~class_name:"report" Value.Unit
+          in
+          let t2 =
+            Thread.start sys.om ~origin:wk.Ra.Node.id ~obj:reporter
+              ~entry:"print_area" (Value.of_sysname bound)
+          in
+          let area = Value.to_int (Thread.join t2) in
+          Sim.sleep (Sim.Time.ms 50);
+          Printf.printf "rect.area() = %d (expected 50)\n" area;
+          Printf.printf "thread ran on compute server %d; output appeared on workstation %d\n"
+            (Thread.node t2) wk.Ra.Node.id;
+          assert (area = 50))

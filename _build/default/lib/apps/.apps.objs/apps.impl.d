@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Bank File_obj Kv_store Lisp_env Port Sensor Sorter

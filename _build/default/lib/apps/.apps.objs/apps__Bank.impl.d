@@ -1,0 +1,1 @@
+lib/apps/bank.ml: Clouds Sim

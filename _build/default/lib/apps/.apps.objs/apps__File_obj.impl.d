@@ -1,0 +1,1 @@
+lib/apps/file_obj.ml: Bytes Clouds Printf Ra Sim String

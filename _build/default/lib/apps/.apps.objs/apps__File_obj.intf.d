@@ -1,0 +1,1 @@
+lib/apps/file_obj.mli: Clouds Ra

@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Clouds Hashtbl List Sim String

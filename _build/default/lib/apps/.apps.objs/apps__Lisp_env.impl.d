@@ -1,0 +1,1 @@
+lib/apps/lisp_env.ml: Buffer Clouds List Printf Ra Sim String

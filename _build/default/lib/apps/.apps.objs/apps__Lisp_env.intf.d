@@ -1,0 +1,1 @@
+lib/apps/lisp_env.mli: Clouds Ra

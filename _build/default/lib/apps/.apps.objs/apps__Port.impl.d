@@ -1,0 +1,1 @@
+lib/apps/port.ml: Array Clouds Sim

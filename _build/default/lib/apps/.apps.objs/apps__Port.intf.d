@@ -1,0 +1,1 @@
+lib/apps/port.mli: Clouds Ra

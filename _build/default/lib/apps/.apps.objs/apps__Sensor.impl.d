@@ -1,0 +1,1 @@
+lib/apps/sensor.ml: Clouds List Ra Sim

@@ -1,0 +1,1 @@
+lib/apps/sensor.mli: Clouds Ra Sim

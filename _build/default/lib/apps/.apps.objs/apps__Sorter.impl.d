@@ -1,0 +1,1 @@
+lib/apps/sorter.ml: Array Bytes Clouds Dsm Int Int64 List Printf Ra Sim

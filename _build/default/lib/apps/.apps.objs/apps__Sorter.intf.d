@@ -1,0 +1,1 @@
+lib/apps/sorter.mli: Clouds Ra

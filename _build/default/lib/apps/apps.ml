@@ -1,0 +1,21 @@
+(** Application objects built on the public Clouds API: the workloads
+    the paper's introduction and research sections motivate.
+
+    - {!Sorter}: the §5.1 distributed-programming experiment
+      (centralized data, distributed computation over DSM);
+    - {!Bank}: accounts and transfers under s / lcp / gcp consistency
+      (§5.2.1), also the PET example's workload;
+    - {!Kv_store}: structured persistent memory (directory in data,
+      chains in the persistent heap);
+    - {!File_obj} and {!Port}: files and messages simulated by
+      objects ("No Files? No Messages?");
+    - {!Sensor}: an active object whose internal daemon monitors a
+      device. *)
+
+module Sorter = Sorter
+module Bank = Bank
+module Kv_store = Kv_store
+module File_obj = File_obj
+module Port = Port
+module Sensor = Sensor
+module Lisp_env = Lisp_env

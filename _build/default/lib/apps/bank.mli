@@ -1,0 +1,43 @@
+(** A replicated-bank workload: accounts and transfers with
+    selectable consistency (§5.2).
+
+    Accounts keep their balance in persistent object data.  Deposits
+    and withdrawals exist in all three consistency flavours so
+    experiments can compare s-, lcp- and gcp-thread costs on the same
+    workload; transfers are global transactions across two account
+    objects (which may live on different data servers). *)
+
+val register : Clouds.Object_manager.t -> unit
+(** Load the "bank-account" and "bank-office" classes (idempotent). *)
+
+val open_account :
+  Clouds.Object_manager.t -> ?home:Net.Address.t -> balance:int -> unit ->
+  Ra.Sysname.t
+
+val balance : Clouds.Object_manager.t -> Ra.Sysname.t -> int
+(** Read (s-thread semantics). *)
+
+val deposit :
+  Clouds.Object_manager.t ->
+  mode:Clouds.Obj_class.consistency ->
+  Ra.Sysname.t ->
+  int ->
+  int
+(** Deposit with the given consistency label; returns the new
+    balance. *)
+
+val create_office : Clouds.Object_manager.t -> Ra.Sysname.t
+(** The office object performs transfers between accounts. *)
+
+val transfer :
+  Clouds.Object_manager.t ->
+  office:Ra.Sysname.t ->
+  from_acct:Ra.Sysname.t ->
+  to_acct:Ra.Sysname.t ->
+  int ->
+  unit
+(** Atomically move money between two accounts (gcp transaction,
+    two-phase commit when the accounts live on different data
+    servers).  Raises {!Insufficient} if funds are missing. *)
+
+exception Insufficient

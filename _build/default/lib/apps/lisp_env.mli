@@ -1,0 +1,38 @@
+(** A persistent Lisp programming environment (paper §5.1).
+
+    The paper's research agenda includes making a Lisp environment's
+    address space persistent — no image save/load at startup and
+    shutdown — and invoking entry points in {e remote} Lisp
+    interpreters for inter-environment operations.  This object is
+    that: a small Scheme-ish interpreter whose global environment
+    lives in the object's persistent memory, so definitions survive
+    across invocations, across compute servers, and across machine
+    crashes; the [remote] builtin evaluates an expression inside
+    another Lisp environment object by sysname.
+
+    Language: integers, strings, symbols, pairs/lists; special forms
+    [quote define set! if lambda let begin and or]; builtins
+    [+ - * / = < > <= >= cons car cdr list null? eq? not length
+    append remote].  Lambdas close over their definition-time
+    bindings by value (the environment is first-class data, which is
+    what makes it persistable). *)
+
+val register : Clouds.Object_manager.t -> unit
+
+val create : Clouds.Object_manager.t -> Ra.Sysname.t
+(** A fresh environment with only the builtins. *)
+
+exception Lisp_error of string
+(** Parse or evaluation error, re-raised on the invoking side. *)
+
+val eval : Clouds.Object_manager.t -> Ra.Sysname.t -> string -> string
+(** Evaluate one expression in the environment and return the printed
+    result.  Definitions persist. *)
+
+val eval_durable :
+  Clouds.Object_manager.t -> Ra.Sysname.t -> string -> string
+(** Like {!eval} but as a gcp transaction: the updated environment is
+    committed to the data server before returning. *)
+
+val bindings : Clouds.Object_manager.t -> Ra.Sysname.t -> string list
+(** Names defined in the global environment. *)

@@ -1,0 +1,101 @@
+module Cl = Clouds.Cluster
+module V = Clouds.Value
+module Mem = Clouds.Memory
+module Ph = Clouds.Pheap
+
+let off_head = 0
+let off_tail = 8
+let off_count = 16
+
+(* heap node: [next:8][value:4+n] *)
+
+let enqueue ctx value =
+  let size = 8 + Mem.value_footprint value in
+  let n = Ph.alloc (ctx.Clouds.Ctx.pheap ()) size in
+  Mem.set_int ctx.Clouds.Ctx.mem ~region:Mem.Heap n 0;
+  Mem.set_value ctx.Clouds.Ctx.mem ~region:Mem.Heap (n + 8) value;
+  let tail = Mem.get_int ctx.Clouds.Ctx.mem off_tail in
+  if tail = 0 then Mem.set_int ctx.Clouds.Ctx.mem off_head n
+  else Mem.set_int ctx.Clouds.Ctx.mem ~region:Mem.Heap tail n;
+  Mem.set_int ctx.Clouds.Ctx.mem off_tail n;
+  Mem.set_int ctx.Clouds.Ctx.mem off_count
+    (Mem.get_int ctx.Clouds.Ctx.mem off_count + 1)
+
+let dequeue ctx =
+  let head = Mem.get_int ctx.Clouds.Ctx.mem off_head in
+  if head = 0 then None
+  else begin
+    let value = Mem.get_value ctx.Clouds.Ctx.mem ~region:Mem.Heap (head + 8) in
+    let next = Mem.get_int ctx.Clouds.Ctx.mem ~region:Mem.Heap head in
+    Mem.set_int ctx.Clouds.Ctx.mem off_head next;
+    if next = 0 then Mem.set_int ctx.Clouds.Ctx.mem off_tail 0;
+    Ph.free (ctx.Clouds.Ctx.pheap ()) head;
+    Mem.set_int ctx.Clouds.Ctx.mem off_count
+      (Mem.get_int ctx.Clouds.Ctx.mem off_count - 1);
+    Some value
+  end
+
+let cls =
+  Clouds.Obj_class.define ~name:"port" ~heap_pages:8
+    [
+      Clouds.Obj_class.entry "send" (fun ctx arg ->
+          ctx.Clouds.Ctx.compute (Sim.Time.us 60);
+          Sim.Mutex.with_lock (ctx.Clouds.Ctx.obj_mutex "q") (fun () ->
+              enqueue ctx arg);
+          Sim.Semaphore.release (ctx.Clouds.Ctx.semaphore "msgs" 0);
+          V.Unit);
+      Clouds.Obj_class.entry "receive" (fun ctx _ ->
+          Sim.Semaphore.acquire (ctx.Clouds.Ctx.semaphore "msgs" 0);
+          ctx.Clouds.Ctx.compute (Sim.Time.us 60);
+          Sim.Mutex.with_lock (ctx.Clouds.Ctx.obj_mutex "q") (fun () ->
+              match dequeue ctx with
+              | Some v -> v
+              | None -> failwith "port: semaphore/queue mismatch"));
+      Clouds.Obj_class.entry "try_receive" (fun ctx _ ->
+          if Sim.Semaphore.try_acquire (ctx.Clouds.Ctx.semaphore "msgs" 0) then
+            Sim.Mutex.with_lock (ctx.Clouds.Ctx.obj_mutex "q") (fun () ->
+                match dequeue ctx with
+                | Some v -> V.Pair (V.Bool true, v)
+                | None -> failwith "port: semaphore/queue mismatch")
+          else V.Pair (V.Bool false, V.Unit));
+      Clouds.Obj_class.entry "pending" (fun ctx _ ->
+          V.Int (Mem.get_int ctx.Clouds.Ctx.mem off_count));
+    ]
+
+let register om =
+  let cl = Clouds.Object_manager.cluster om in
+  if Cl.find_class cl "port" = None then Cl.register_class cl cls
+
+let create om =
+  register om;
+  Clouds.Object_manager.create_object om ~class_name:"port" V.Unit
+
+let invoke_on om node obj entry arg =
+  Clouds.Object_manager.invoke om ~node ~thread_id:0 ~origin:None ~txn:None
+    ~obj ~entry arg
+
+let default_node om =
+  (Clouds.Object_manager.cluster om).Cl.compute_nodes.(0)
+
+let send om obj value = ignore (invoke_on om (default_node om) obj "send" value)
+
+let receive om ?on obj =
+  let cl = Clouds.Object_manager.cluster om in
+  let node =
+    match on with
+    | Some addr -> (
+        match Cl.node_by_id cl addr with
+        | Some n -> n
+        | None -> invalid_arg "Port.receive: unknown node")
+    | None -> default_node om
+  in
+  invoke_on om node obj "receive" V.Unit
+
+let try_receive om obj =
+  match invoke_on om (default_node om) obj "try_receive" V.Unit with
+  | V.Pair (V.Bool true, v) -> Some v
+  | V.Pair (V.Bool false, _) -> None
+  | _ -> failwith "Port.try_receive: bad reply"
+
+let pending om obj =
+  V.to_int (invoke_on om (default_node om) obj "pending" V.Unit)

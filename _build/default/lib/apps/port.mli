@@ -1,0 +1,23 @@
+(** Messages simulated by objects (the other half of the "No Files?
+    No Messages?" box).
+
+    A buffer object with send and receive entry points acts as a port
+    between communicating threads: the message queue lives in the
+    object's persistent heap, and a system semaphore blocks receivers
+    until something arrives.  Blocking receive pairs threads on the
+    same compute server; [try_receive] works from anywhere. *)
+
+val register : Clouds.Object_manager.t -> unit
+val create : Clouds.Object_manager.t -> Ra.Sysname.t
+
+val send : Clouds.Object_manager.t -> Ra.Sysname.t -> Clouds.Value.t -> unit
+
+val receive :
+  Clouds.Object_manager.t -> ?on:int -> Ra.Sysname.t -> Clouds.Value.t
+(** Blocks until a message is available.  [on] pins the compute
+    server (senders must share it for the wakeup to be seen). *)
+
+val try_receive :
+  Clouds.Object_manager.t -> Ra.Sysname.t -> Clouds.Value.t option
+
+val pending : Clouds.Object_manager.t -> Ra.Sysname.t -> int

@@ -1,0 +1,1 @@
+lib/atomicity/atomicity.ml: Manager

@@ -1,0 +1,1 @@
+lib/atomicity/manager.ml: Array Clouds Dsm Fun Hashtbl List Net Ra Ratp Sim

@@ -1,0 +1,1 @@
+lib/atomicity/manager.mli: Clouds Sim

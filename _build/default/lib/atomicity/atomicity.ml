@@ -1,0 +1,5 @@
+(** Consistency preservation for Clouds threads: automatic
+    segment-level locking, local and global consistency-preserving
+    transactions, and two-phase commit — §5.2.1 of the paper. *)
+
+module Manager = Manager

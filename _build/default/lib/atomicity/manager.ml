@@ -1,0 +1,504 @@
+module P = Dsm.Protocol
+module Cl = Clouds.Cluster
+
+exception Aborted of string
+
+(* Internal control-flow signal: the current transaction cannot
+   continue (deadlock timeout, cancelled lock, failed vote). *)
+exception Txn_abort_signal
+
+type scope = Global | Local
+
+type status = Active | Rolling_back | Finished
+
+type state = {
+  token : int * int;
+  txn : P.txn_id;
+  scope : scope;
+  thread_id : int;
+  coord : Ra.Node.t;  (* node where the transaction began *)
+  mutable status : status;
+  mutable locks : (Ra.Sysname.t * P.lock_kind) list;
+  mutable lock_servers : Net.Address.t list;
+  mutable write_segs : Ra.Sysname.t list;
+  mutable nodes : Ra.Node.t list;
+  mutable rolled : bool;
+}
+
+type t = {
+  om : Clouds.Object_manager.t;
+  cl : Cl.t;
+  txns : (int * int, state) Hashtbl.t;
+  outcomes : (int * int, bool) Hashtbl.t;  (* true = committed *)
+  by_pid : (int, state) Hashtbl.t;
+  local_locks : (int, Dsm.Lock_table.t) Hashtbl.t;
+  deadlock_timeout : Sim.Time.span;
+  max_retries : int;
+  code_segs : unit Ra.Sysname.Table.t;
+  mutable code_segs_seen : int;
+  commit_count : Sim.Stats.counter;
+  abort_count : Sim.Stats.counter;
+  retry_count : Sim.Stats.counter;
+  lock_rpc_count : Sim.Stats.counter;
+}
+
+let object_manager t = t.om
+let active_txns t = Hashtbl.length t.txns
+let commits t = Sim.Stats.value t.commit_count
+let aborts t = Sim.Stats.value t.abort_count
+let retries t = Sim.Stats.value t.retry_count
+let lock_rpcs t = Sim.Stats.value t.lock_rpc_count
+
+let local_table t node_id =
+  match Hashtbl.find_opt t.local_locks node_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Dsm.Lock_table.create () in
+      Hashtbl.replace t.local_locks node_id tbl;
+      tbl
+
+(* Class code segments are read-only and shared; locking them would
+   serialize unrelated transactions for no benefit. *)
+let is_code t seg =
+  if Hashtbl.length t.cl.Cl.class_code <> t.code_segs_seen then begin
+    Ra.Sysname.Table.reset t.code_segs;
+    Hashtbl.iter
+      (fun _ s -> Ra.Sysname.Table.replace t.code_segs s ())
+      t.cl.Cl.class_code;
+    t.code_segs_seen <- Hashtbl.length t.cl.Cl.class_code
+  end;
+  Ra.Sysname.Table.mem t.code_segs seg
+
+let dsm_rpc node ~dst body =
+  Ratp.Endpoint.call node.Ra.Node.endpoint ~dst ~service:P.service
+    ~size:(P.request_bytes body) body
+
+(* --- rollback ------------------------------------------------------ *)
+
+(* RPCs about a transaction must come from a live machine: the
+   coordinator may be the very node whose crash we are cleaning up
+   after. *)
+let live_origin t st =
+  if st.coord.Ra.Node.alive then st.coord
+  else
+    match
+      Array.to_list t.cl.Cl.compute_nodes
+      |> List.find_opt (fun n -> n.Ra.Node.alive)
+    with
+    | Some n -> n
+    | None -> st.coord
+
+let send_abort_everywhere t st =
+  let origin = live_origin t st in
+  let homes =
+    List.sort_uniq Net.Address.compare
+      (st.lock_servers
+      @ List.filter_map
+          (fun seg ->
+            match Cl.locate_segment t.cl seg with
+            | home -> Some home
+            | exception Ra.Partition.No_segment _ -> None)
+          st.write_segs)
+  in
+  List.iter
+    (fun home ->
+      match dsm_rpc origin ~dst:home (P.Abort { txn = st.txn }) with
+      | Ok _ | Error Ratp.Endpoint.Timeout -> ())
+    homes
+
+let rollback t st =
+  if not st.rolled then begin
+    st.rolled <- true;
+    st.status <- Rolling_back;
+    if st.scope = Global then Hashtbl.replace t.outcomes st.token false;
+    (* undo: drop the dirty frames; the stores still hold the
+       pre-transaction images *)
+    List.iter
+      (fun node ->
+        List.iter
+          (fun seg -> Ra.Mmu.drop_segment node.Ra.Node.mmu seg)
+          st.write_segs)
+      st.nodes;
+    (match st.scope with
+    | Global -> send_abort_everywhere t st
+    | Local ->
+        List.iter
+          (fun node ->
+            Dsm.Lock_table.release_txn (local_table t node.Ra.Node.id) st.txn)
+          st.nodes);
+    st.status <- Finished;
+    Sim.Stats.incr t.abort_count
+  end
+
+(* --- locking ------------------------------------------------------- *)
+
+(* Deadlock watchdogs must run the FULL rollback — dropping the
+   transaction's dirty frames before releasing its locks — otherwise
+   the competing transaction can grab the lock and page in our
+   uncommitted data through DSM before we discard it. *)
+let spawn_rollback t st =
+  ignore
+    (Sim.Engine.spawn t.cl.Cl.eng "deadlock-breaker" (fun () -> rollback t st))
+
+let held_kind st seg =
+  List.fold_left
+    (fun acc (s, k) ->
+      if Ra.Sysname.equal s seg then
+        match (acc, k) with
+        | Some P.W, _ | _, P.W -> Some P.W
+        | _, k -> Some k
+      else acc)
+    None st.locks
+
+let note_lock st seg kind =
+  st.locks <- (seg, kind) :: List.filter (fun (s, _) -> not (Ra.Sysname.equal s seg)) st.locks
+
+(* Deadlock timeouts are jittered: when several transactions block on
+   each other, the one whose watchdog fires last survives the others'
+   aborts and gets the lock instead of everyone giving up at once. *)
+let jittered_timeout t =
+  let u = Sim.Rng.float (Sim.Engine.rng t.cl.Cl.eng) 1.0 in
+  t.deadlock_timeout + int_of_float (float_of_int t.deadlock_timeout *. u)
+
+let acquire_global t st node seg kind =
+  let home = Cl.locate_segment t.cl seg in
+  if not (List.mem home st.lock_servers) then
+    st.lock_servers <- home :: st.lock_servers;
+  Sim.Stats.incr t.lock_rpc_count;
+  (* deadlock watchdog: if the lock is not granted in time, abort the
+     transaction server-side so the blocked request resolves *)
+  let acquired = ref false in
+  let eng = t.cl.Cl.eng in
+  Sim.Engine.at eng
+    (Sim.Time.add (Sim.Engine.now eng) (jittered_timeout t))
+    (fun () ->
+      if (not !acquired) && st.status = Active then begin
+        st.status <- Rolling_back;
+        spawn_rollback t st
+      end);
+  match dsm_rpc node ~dst:home (P.Lock_segment { seg; kind; txn = st.txn }) with
+  | Ok P.Lock_granted ->
+      acquired := true;
+      if st.status <> Active then raise Txn_abort_signal;
+      note_lock st seg kind
+  | Ok P.Lock_cancelled ->
+      acquired := true;
+      raise Txn_abort_signal
+  | Ok _ | Error Ratp.Endpoint.Timeout ->
+      acquired := true;
+      st.status <- (if st.status = Active then Rolling_back else st.status);
+      raise Txn_abort_signal
+
+let acquire_local t st node seg kind =
+  let tbl = local_table t node.Ra.Node.id in
+  let acquired = ref false in
+  let eng = t.cl.Cl.eng in
+  Sim.Engine.at eng
+    (Sim.Time.add (Sim.Engine.now eng) (jittered_timeout t))
+    (fun () ->
+      if (not !acquired) && st.status = Active then begin
+        st.status <- Rolling_back;
+        spawn_rollback t st
+      end);
+  match Dsm.Lock_table.acquire tbl seg st.txn kind with
+  | `Granted ->
+      acquired := true;
+      if st.status <> Active then raise Txn_abort_signal;
+      note_lock st seg kind
+  | `Cancelled ->
+      acquired := true;
+      raise Txn_abort_signal
+
+let ensure_lock t st node seg kind =
+  let needed =
+    match (held_kind st seg, kind) with
+    | Some P.W, _ -> None
+    | Some P.R, P.R -> None
+    | Some P.R, P.W -> Some P.W
+    | None, k -> Some k
+  in
+  match needed with
+  | None -> ()
+  | Some kind -> (
+      match st.scope with
+      | Global -> acquire_global t st node seg kind
+      | Local -> acquire_local t st node seg kind)
+
+(* --- the MMU access hook ------------------------------------------- *)
+
+let hook t node seg _page mode =
+  match Hashtbl.find_opt t.by_pid (Sim.self ()) with
+  | None -> ()
+  | Some st ->
+      if st.status <> Active then raise Txn_abort_signal;
+      if Cl.is_volatile t.cl node seg || is_code t seg then ()
+      else begin
+        if not (List.memq node st.nodes) then st.nodes <- node :: st.nodes;
+        let kind =
+          match mode with Ra.Partition.Read -> P.R | Ra.Partition.Write -> P.W
+        in
+        if
+          kind = P.W
+          && not (List.exists (Ra.Sysname.equal seg) st.write_segs)
+        then st.write_segs <- seg :: st.write_segs;
+        ensure_lock t st node seg kind
+      end
+
+(* --- commit -------------------------------------------------------- *)
+
+(* Collect this transaction's dirty pages, grouped by home data
+   server, remembering where each frame lives for mark_clean. *)
+let collect_writes t st =
+  let by_home : (Net.Address.t, P.write_set ref) Hashtbl.t = Hashtbl.create 4 in
+  let frames = ref [] in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun seg ->
+          let dirty = Ra.Mmu.dirty_pages node.Ra.Node.mmu seg in
+          if dirty <> [] then begin
+            let home = Cl.locate_segment t.cl seg in
+            let cell =
+              match Hashtbl.find_opt by_home home with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.replace by_home home c;
+                  c
+            in
+            List.iter
+              (fun (page, data) ->
+                cell := (seg, page, data) :: !cell;
+                frames := (node, seg, page) :: !frames)
+              dirty
+          end)
+        st.write_segs)
+    st.nodes;
+  let grouped =
+    Hashtbl.fold (fun home cell acc -> (home, List.rev !cell) :: acc) by_home []
+    |> List.sort (fun (a, _) (b, _) -> Net.Address.compare a b)
+  in
+  (grouped, !frames)
+
+let mark_all_clean frames =
+  List.iter
+    (fun (node, seg, page) -> Ra.Mmu.mark_clean node.Ra.Node.mmu seg page)
+    frames
+
+let commit t st =
+  if st.status <> Active then raise Txn_abort_signal;
+  let grouped, frames = collect_writes t st in
+  match st.scope with
+  | Global ->
+      let all_yes =
+        List.for_all
+          (fun (home, writes) ->
+            match
+              dsm_rpc st.coord ~dst:home (P.Prepare { txn = st.txn; writes })
+            with
+            | Ok (P.Vote true) -> true
+            | Ok _ | Error Ratp.Endpoint.Timeout -> false)
+          grouped
+      in
+      if not all_yes then begin
+        st.status <- Rolling_back;
+        raise Txn_abort_signal
+      end;
+      (* the commit point: participants that crash from here on learn
+         the outcome from the coordinator at recovery *)
+      Hashtbl.replace t.outcomes st.token true;
+      (* clean our frames NOW, while the locks are still held at the
+         servers: once a Commit message releases a lock, a successor
+         transaction may re-dirty these frames, and a later blanket
+         mark_clean would silently discard its writes *)
+      mark_all_clean frames;
+      let involved =
+        List.sort_uniq Net.Address.compare
+          (List.map fst grouped @ st.lock_servers)
+      in
+      List.iter
+        (fun home ->
+          match dsm_rpc st.coord ~dst:home (P.Commit { txn = st.txn }) with
+          | Ok _ | Error Ratp.Endpoint.Timeout -> ())
+        involved;
+      st.status <- Finished;
+      Sim.Stats.incr t.commit_count
+  | Local ->
+      List.iter
+        (fun (home, writes) ->
+          match dsm_rpc st.coord ~dst:home (P.Put_batch writes) with
+          | Ok P.Batch_ok -> ()
+          | Ok _ | Error Ratp.Endpoint.Timeout ->
+              st.status <- Rolling_back;
+              raise Txn_abort_signal)
+        grouped;
+      mark_all_clean frames;
+      List.iter
+        (fun node ->
+          Dsm.Lock_table.release_txn (local_table t node.Ra.Node.id) st.txn)
+        st.nodes;
+      st.status <- Finished;
+      Sim.Stats.incr t.commit_count
+
+(* --- the entry wrapper --------------------------------------------- *)
+
+let with_pid t st f =
+  let pid = Sim.self () in
+  match Hashtbl.find_opt t.by_pid pid with
+  | Some existing when existing == st -> f ()
+  | Some _ | None ->
+      let previous = Hashtbl.find_opt t.by_pid pid in
+      Hashtbl.replace t.by_pid pid st;
+      Fun.protect
+        ~finally:(fun () ->
+          match previous with
+          | Some prev -> Hashtbl.replace t.by_pid pid prev
+          | None -> Hashtbl.remove t.by_pid pid)
+        f
+
+let run_txn t scope (ctx : Clouds.Ctx.t) body =
+  let rec attempt n =
+    let token = Cl.fresh_txn t.cl ctx.Clouds.Ctx.node in
+    let st =
+      {
+        token;
+        txn = { P.tnode = fst token; tseq = snd token };
+        scope;
+        thread_id = ctx.Clouds.Ctx.thread_id;
+        coord = ctx.Clouds.Ctx.node;
+        status = Active;
+        locks = [];
+        lock_servers = [];
+        write_segs = [];
+        nodes = [ ctx.Clouds.Ctx.node ];
+        rolled = false;
+      }
+    in
+    Hashtbl.replace t.txns token st;
+    ctx.Clouds.Ctx.txn <- Some token;
+    let cleanup () =
+      ctx.Clouds.Ctx.txn <- None;
+      Hashtbl.remove t.txns token
+    in
+    let retry_or_fail () =
+      if n < t.max_retries then begin
+        Sim.Stats.incr t.retry_count;
+        (* randomized exponential backoff to break repeated collisions *)
+        let scale = 1 lsl min n 6 in
+        Sim.sleep
+          (Sim.Time.us
+             (2000 * scale * (1 + Sim.Rng.int (Sim.Engine.rng t.cl.Cl.eng) 4)));
+        attempt (n + 1)
+      end
+      else raise (Aborted "transaction retries exhausted")
+    in
+    match with_pid t st body with
+    | v -> (
+        match commit t st with
+        | () ->
+            cleanup ();
+            v
+        | exception Txn_abort_signal ->
+            rollback t st;
+            cleanup ();
+            retry_or_fail ())
+    | exception Txn_abort_signal ->
+        rollback t st;
+        cleanup ();
+        retry_or_fail ()
+    | exception e ->
+        (* a user exception aborts the transaction and propagates *)
+        rollback t st;
+        cleanup ();
+        raise e
+  in
+  attempt 1
+
+let join_txn t st (ctx : Clouds.Ctx.t) body =
+  if not (List.memq ctx.Clouds.Ctx.node st.nodes) then
+    st.nodes <- ctx.Clouds.Ctx.node :: st.nodes;
+  with_pid t st body
+
+let wrapper t label (ctx : Clouds.Ctx.t) body =
+  match ctx.Clouds.Ctx.txn with
+  | Some token -> (
+      match Hashtbl.find_opt t.txns token with
+      | Some st -> join_txn t st ctx body
+      | None -> body ())
+  | None -> (
+      match label with
+      | Clouds.Obj_class.S -> body ()
+      | Clouds.Obj_class.Gcp -> run_txn t Global ctx body
+      | Clouds.Obj_class.Lcp -> run_txn t Local ctx body)
+
+(* --- installation --------------------------------------------------- *)
+
+let install om ?(deadlock_timeout = Sim.Time.sec 5) ?(max_retries = 3) () =
+  let cl = Clouds.Object_manager.cluster om in
+  let t =
+    {
+      om;
+      cl;
+      txns = Hashtbl.create 32;
+      outcomes = Hashtbl.create 64;
+      by_pid = Hashtbl.create 32;
+      local_locks = Hashtbl.create 8;
+      deadlock_timeout;
+      max_retries;
+      code_segs = Ra.Sysname.Table.create 16;
+      code_segs_seen = -1;
+      commit_count = Sim.Stats.counter "atomicity.commits";
+      abort_count = Sim.Stats.counter "atomicity.aborts";
+      retry_count = Sim.Stats.counter "atomicity.retries";
+      lock_rpc_count = Sim.Stats.counter "atomicity.lock_rpcs";
+    }
+  in
+  Array.iter
+    (fun node ->
+      Ra.Mmu.set_access_hook node.Ra.Node.mmu
+        (Some (fun seg page mode -> hook t node seg page mode)))
+    cl.Cl.compute_nodes;
+  (* recovering data servers resolve in-doubt transactions by asking
+     the coordinator: answerable only while the coordinating machine
+     is up (its volatile outcome table), else presumed abort *)
+  Array.iter
+    (fun server ->
+      Dsm.Dsm_server.set_outcome_oracle server (fun token ->
+          let coordinator_alive =
+            match Cl.node_by_id cl (fst token) with
+            | Some n -> n.Ra.Node.alive
+            | None -> false
+          in
+          if not coordinator_alive then `Unknown
+          else
+            match Hashtbl.find_opt t.outcomes token with
+            | Some true -> `Committed
+            | Some false -> `Aborted
+            | None ->
+                (* alive coordinator, no decision yet: if the
+                   transaction is still running, the participant must
+                   hold on; a token we never saw is presumed abort *)
+                if Hashtbl.mem t.txns token then `Pending else `Unknown))
+    cl.Cl.servers;
+  cl.Cl.entry_wrapper <- (fun label ctx body -> wrapper t label ctx body);
+  t
+
+let abort_thread t ~thread_id =
+  let victims =
+    Hashtbl.fold
+      (fun _ st acc ->
+        if st.thread_id = thread_id && st.status = Active then st :: acc
+        else acc)
+      t.txns []
+  in
+  List.iter
+    (fun st ->
+      rollback t st;
+      Hashtbl.remove t.txns st.token;
+      let pids =
+        Hashtbl.fold
+          (fun pid s acc -> if s == st then pid :: acc else acc)
+          t.by_pid []
+      in
+      List.iter (Hashtbl.remove t.by_pid) pids)
+    victims

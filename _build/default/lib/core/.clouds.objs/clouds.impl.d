@@ -1,0 +1,1 @@
+lib/core/clouds.ml: Cluster Ctx Memory Name_server Obj_class Object_manager Pheap Terminal Thread User_io Value

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Bytes Char Ctx Dsm Hashtbl List Net Obj_class Ra Sim Store Terminal User_io Value

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Ctx Dsm Hashtbl Net Obj_class Ra Ratp Sim Terminal Value

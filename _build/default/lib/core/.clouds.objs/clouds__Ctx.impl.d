@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Hashtbl Memory Pheap Ra Sim Value

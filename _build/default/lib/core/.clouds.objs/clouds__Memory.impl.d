@@ -1,0 +1,1 @@
+lib/core/memory.ml: Bytes Char Int32 Int64 Ra String Value

@@ -1,0 +1,1 @@
+lib/core/name_server.ml: Cluster Ctx List Memory Obj_class Object_manager Pheap Ra String Value

@@ -1,0 +1,1 @@
+lib/core/name_server.mli: Obj_class Object_manager Ra

@@ -1,0 +1,1 @@
+lib/core/obj_class.ml: Ctx Format List String Value

@@ -1,0 +1,1 @@
+lib/core/obj_class.mli: Ctx Format Value

@@ -1,0 +1,1 @@
+lib/core/object_manager.ml: Array Cluster Ctx Dsm Fun Hashtbl List Memory Obj_class Pheap Printexc Printf Ra Ratp Sim Store String User_io Value

@@ -1,0 +1,1 @@
+lib/core/object_manager.mli: Cluster Net Ra Value

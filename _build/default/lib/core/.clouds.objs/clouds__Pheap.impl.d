@@ -1,0 +1,1 @@
+lib/core/pheap.ml: Memory

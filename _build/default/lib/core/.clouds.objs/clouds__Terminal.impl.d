@@ -1,0 +1,1 @@
+lib/core/terminal.ml: List Queue

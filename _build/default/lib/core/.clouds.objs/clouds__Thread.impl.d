@@ -1,0 +1,1 @@
+lib/core/thread.ml: Cluster Object_manager Printf Ra Sim Value

@@ -1,0 +1,1 @@
+lib/core/thread.mli: Object_manager Ra Value

@@ -1,0 +1,1 @@
+lib/core/user_io.ml: Ra Ratp String Terminal

@@ -1,0 +1,1 @@
+lib/core/user_io.mli: Net Ra Terminal

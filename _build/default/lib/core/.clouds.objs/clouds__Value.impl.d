@@ -1,0 +1,1 @@
+lib/core/value.ml: Buffer Bytes Float Format Int32 Int64 List Ra String

@@ -1,0 +1,241 @@
+type t = {
+  eng : Sim.Engine.t;
+  ether : Net.Ethernet.t;
+  params : Ra.Params.t;
+  compute_nodes : Ra.Node.t array;
+  clients : Dsm.Dsm_client.t array;
+  data_nodes : Ra.Node.t array;
+  servers : Dsm.Dsm_server.t array;
+  workstations : (Ra.Node.t * Terminal.t) array;
+  classes : (string, Obj_class.t) Hashtbl.t;
+  class_code : (string, Ra.Sysname.t) Hashtbl.t;
+  seg_home : Net.Address.t Ra.Sysname.Table.t;
+  obj_home : Net.Address.t Ra.Sysname.Table.t;
+  volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
+  mutable scheduler : [ `Round_robin | `Least_loaded ];
+  mutable rr_compute : int;
+  mutable rr_data : int;
+  mutable next_thread : int;
+  mutable next_txn : int;
+  mutable entry_wrapper :
+    Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
+  mutable name_server : Ra.Sysname.t option;
+}
+
+let locate_segment t seg =
+  match Ra.Sysname.Table.find_opt t.seg_home seg with
+  | Some addr -> addr
+  | None -> raise (Ra.Partition.No_segment seg)
+
+let add_segment t seg home = Ra.Sysname.Table.replace t.seg_home seg home
+
+let volatile_table t node_id =
+  match Hashtbl.find_opt t.volatile node_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Ra.Sysname.Table.create 8 in
+      Hashtbl.replace t.volatile node_id tbl;
+      tbl
+
+let register_volatile t node seg =
+  Ra.Sysname.Table.replace (volatile_table t node.Ra.Node.id) seg ()
+
+let is_volatile t node seg =
+  Ra.Sysname.Table.mem (volatile_table t node.Ra.Node.id) seg
+
+(* Volatile segments never touch the network: they always start
+   zeroed and their writeback is a no-op (they die with the
+   activation). *)
+let volatile_partition =
+  {
+    Ra.Partition.name = "volatile";
+    fetch = (fun ~seg:_ ~page:_ ~mode:_ -> Ra.Partition.Zeroed);
+    writeback = (fun ~seg:_ ~page:_ _ -> ());
+  }
+
+let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
+    ~compute ~data ~workstations () =
+  if compute < 1 || data < 1 then
+    invalid_arg "Cluster.create: need at least one compute and one data server";
+  let ether = Net.Ethernet.create eng ?config:ether_config () in
+  let t_ref = ref None in
+  let locate seg =
+    match !t_ref with
+    | Some t -> locate_segment t seg
+    | None -> assert false
+  in
+  let data_nodes =
+    Array.init data (fun i ->
+        Ra.Node.create ether ~id:(i + 1) ~kind:Ra.Node.Data ~params
+          ?ratp_config ())
+  in
+  let servers = Array.map (fun n -> Dsm.Dsm_server.create n ()) data_nodes in
+  let compute_nodes =
+    Array.init compute (fun i ->
+        Ra.Node.create ether ~id:(data + i + 1) ~kind:Ra.Node.Compute ~params
+          ?ratp_config ())
+  in
+  let clients =
+    Array.map (fun n -> Dsm.Dsm_client.create n ~locate ()) compute_nodes
+  in
+  let wk =
+    Array.init workstations (fun i ->
+        let node =
+          Ra.Node.create ether ~id:(data + compute + i + 1)
+            ~kind:Ra.Node.Workstation ~params ?ratp_config ()
+        in
+        let term = Terminal.create ~wid:node.Ra.Node.id in
+        User_io.install node term;
+        (node, term))
+  in
+  let t =
+    {
+      eng;
+      ether;
+      params;
+      compute_nodes;
+      clients;
+      data_nodes;
+      servers;
+      workstations = wk;
+      classes = Hashtbl.create 16;
+      class_code = Hashtbl.create 16;
+      seg_home = Ra.Sysname.Table.create 64;
+      obj_home = Ra.Sysname.Table.create 64;
+      volatile = Hashtbl.create 16;
+      scheduler = `Round_robin;
+      rr_compute = 0;
+      rr_data = 0;
+      next_thread = 1;
+      next_txn = 1;
+      entry_wrapper = (fun _label _ctx body -> body ());
+      name_server = None;
+    }
+  in
+  t_ref := Some t;
+  (* compute nodes route volatile segments locally and everything
+     else through DSM *)
+  Array.iteri
+    (fun i node ->
+      let dsm_partition = Dsm.Dsm_client.partition clients.(i) in
+      Ra.Mmu.set_resolver node.Ra.Node.mmu (fun seg ->
+          if is_volatile t node seg then volatile_partition else dsm_partition))
+    compute_nodes;
+  t
+
+let pick_round_robin t =
+  let n = Array.length t.compute_nodes in
+  let rec pick tries =
+    if tries >= n then invalid_arg "Cluster.pick_compute: no live compute server"
+    else begin
+      let node = t.compute_nodes.(t.rr_compute mod n) in
+      t.rr_compute <- t.rr_compute + 1;
+      if node.Ra.Node.alive then node else pick (tries + 1)
+    end
+  in
+  pick 0
+
+let pick_least_loaded t =
+  let best =
+    Array.fold_left
+      (fun acc node ->
+        if not node.Ra.Node.alive then acc
+        else begin
+          let load = Ra.Cpu.load node.Ra.Node.cpu + node.Ra.Node.sched_load in
+          match acc with
+          | Some (_, best_load) when best_load <= load -> acc
+          | _ -> Some (node, load)
+        end)
+      None t.compute_nodes
+  in
+  match best with
+  | Some (node, _) -> node
+  | None -> invalid_arg "Cluster.pick_compute: no live compute server"
+
+let pick_compute t =
+  match t.scheduler with
+  | `Round_robin -> pick_round_robin t
+  | `Least_loaded -> pick_least_loaded t
+
+let pick_data t =
+  let n = Array.length t.data_nodes in
+  let rec pick tries =
+    if tries >= n then invalid_arg "Cluster.pick_data: no live data server"
+    else begin
+      let node = t.data_nodes.(t.rr_data mod n) in
+      t.rr_data <- t.rr_data + 1;
+      if node.Ra.Node.alive then node.Ra.Node.id else pick (tries + 1)
+    end
+  in
+  pick 0
+
+let all_nodes t =
+  Array.to_list t.data_nodes
+  @ Array.to_list t.compute_nodes
+  @ List.map fst (Array.to_list t.workstations)
+
+let node_by_id t id =
+  List.find_opt (fun n -> n.Ra.Node.id = id) (all_nodes t)
+
+let client_of t id =
+  let rec find i =
+    if i >= Array.length t.compute_nodes then None
+    else if t.compute_nodes.(i).Ra.Node.id = id then Some t.clients.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let server_at t addr =
+  let rec find i =
+    if i >= Array.length t.data_nodes then None
+    else if t.data_nodes.(i).Ra.Node.id = addr then Some t.servers.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let terminal_of t id =
+  let rec find i =
+    if i >= Array.length t.workstations then None
+    else begin
+      let node, term = t.workstations.(i) in
+      if node.Ra.Node.id = id then Some term else find (i + 1)
+    end
+  in
+  find 0
+
+(* Pseudo machine code: stable non-zero contents so that code-page
+   fetches cost a data copy, not a zero fill. *)
+let code_bytes class_name page =
+  let b = Bytes.create Ra.Page.size in
+  let seed = Hashtbl.hash (class_name, page) in
+  for i = 0 to Ra.Page.size - 1 do
+    Bytes.set b i (Char.chr ((seed + i) land 0xff))
+  done;
+  b
+
+let register_class t (cls : Obj_class.t) =
+  if Hashtbl.mem t.classes cls.Obj_class.c_name then
+    invalid_arg "Cluster.register_class: already loaded";
+  Hashtbl.replace t.classes cls.Obj_class.c_name cls;
+  let home = pick_data t in
+  match server_at t home with
+  | None -> assert false
+  | Some server ->
+      let store = Dsm.Dsm_server.store server in
+      let node = Dsm.Dsm_server.node server in
+      let seg = Ra.Sysname.fresh node.Ra.Node.names in
+      Store.Segment_store.create_segment store seg
+        ~size:(cls.Obj_class.code_pages * Ra.Page.size);
+      for page = 0 to cls.Obj_class.code_pages - 1 do
+        Store.Segment_store.write_page store seg page
+          (code_bytes cls.Obj_class.c_name page)
+      done;
+      add_segment t seg home;
+      Hashtbl.replace t.class_code cls.Obj_class.c_name seg
+
+let find_class t name = Hashtbl.find_opt t.classes name
+
+let fresh_txn t node =
+  let seq = t.next_txn in
+  t.next_txn <- seq + 1;
+  (node.Ra.Node.id, seq)

@@ -1,0 +1,92 @@
+(** Cluster assembly: the Clouds system configuration.
+
+    A cluster wires together data servers (segment stores + DSM
+    servers), diskless compute servers (DSM clients), and user
+    workstations on one Ethernet — Figure 3 of the paper.  It also
+    holds the system-wide configuration knowledge: which classes are
+    loaded, where segments and objects live, and the entry wrapper
+    the atomicity layer installs around labelled entry points.
+
+    Addresses: data servers get 1..d, compute servers d+1..d+c,
+    workstations d+c+1 onward. *)
+
+type t = {
+  eng : Sim.Engine.t;
+  ether : Net.Ethernet.t;
+  params : Ra.Params.t;
+  compute_nodes : Ra.Node.t array;
+  clients : Dsm.Dsm_client.t array;  (** parallel to [compute_nodes] *)
+  data_nodes : Ra.Node.t array;
+  servers : Dsm.Dsm_server.t array;  (** parallel to [data_nodes] *)
+  workstations : (Ra.Node.t * Terminal.t) array;
+  classes : (string, Obj_class.t) Hashtbl.t;
+  class_code : (string, Ra.Sysname.t) Hashtbl.t;
+      (** instances of a class share one code segment *)
+  seg_home : Net.Address.t Ra.Sysname.Table.t;
+  obj_home : Net.Address.t Ra.Sysname.Table.t;
+  volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
+  mutable scheduler : [ `Round_robin | `Least_loaded ];
+      (** thread-placement policy (the paper's "scheduling decision
+          may depend on scheduling policies and the load at each
+          compute server") *)
+  mutable rr_compute : int;
+  mutable rr_data : int;
+  mutable next_thread : int;
+  mutable next_txn : int;
+  mutable entry_wrapper :
+    Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
+      (** installed by the atomicity layer; default runs the body *)
+  mutable name_server : Ra.Sysname.t option;
+}
+
+val create :
+  Sim.Engine.t ->
+  ?params:Ra.Params.t ->
+  ?ratp_config:Ratp.Endpoint.config ->
+  ?ether_config:Net.Ethernet.config ->
+  compute:int ->
+  data:int ->
+  workstations:int ->
+  unit ->
+  t
+(** Build and boot a cluster.  Requires at least one compute and one
+    data server. *)
+
+val pick_compute : t -> Ra.Node.t
+(** Scheduling decision for a new thread, according to
+    [t.scheduler]: round robin over live compute servers, or the
+    least-loaded live compute server (CPU queue length, ties to the
+    lowest address). *)
+
+val pick_data : t -> Net.Address.t
+(** Placement decision for a new object: round robin over data
+    servers. *)
+
+val node_by_id : t -> int -> Ra.Node.t option
+(** Any node (data, compute or workstation) by address. *)
+
+val client_of : t -> int -> Dsm.Dsm_client.t option
+(** The DSM client of a compute node. *)
+
+val server_at : t -> Net.Address.t -> Dsm.Dsm_server.t option
+
+val terminal_of : t -> int -> Terminal.t option
+
+val register_class : t -> Obj_class.t -> unit
+(** "Compile and load" a class: record it in the system-wide registry
+    and materialize its shared code segment on a data server.  This
+    is a configuration-time action, like the prototype's compiler
+    loading classes from the Unix workstation. *)
+
+val find_class : t -> string -> Obj_class.t option
+
+val locate_segment : t -> Ra.Sysname.t -> Net.Address.t
+(** Raises {!Ra.Partition.No_segment} for unknown segments. *)
+
+val add_segment : t -> Ra.Sysname.t -> Net.Address.t -> unit
+
+val register_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> unit
+val is_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> bool
+
+val fresh_txn : t -> Ra.Node.t -> int * int
+(** A cluster-unique transaction id minted at the given node. *)

@@ -1,0 +1,142 @@
+(* Bindings are a singly linked list in the object's persistent heap;
+   the head offset lives at byte 0 of the persistent data segment.
+   Node layout: [next:8][name:4+n][sysname:4+m]. *)
+
+let head_off = 0
+
+let get_next ctx node = Memory.get_int ctx.Ctx.mem ~region:Memory.Heap node
+
+let get_name ctx node =
+  Memory.get_string ctx.Ctx.mem ~region:Memory.Heap (node + 8)
+
+let get_sys ctx node =
+  let name = get_name ctx node in
+  Memory.get_string ctx.Ctx.mem ~region:Memory.Heap
+    (node + 8 + Memory.string_footprint name)
+
+let charge ctx =
+  ctx.Ctx.compute ctx.Ctx.node.Ra.Node.params.Ra.Params.name_lookup
+
+let fold ctx f init =
+  let rec walk acc node =
+    if node = 0 then acc else walk (f acc node) (get_next ctx node)
+  in
+  walk init (Memory.get_int ctx.Ctx.mem head_off)
+
+let find ctx name =
+  fold ctx
+    (fun acc node ->
+      match acc with
+      | Some _ -> acc
+      | None -> if String.equal (get_name ctx node) name then Some node else None)
+    None
+
+let remove ctx name =
+  let rec walk prev node =
+    if node = 0 then false
+    else begin
+      let next = get_next ctx node in
+      if String.equal (get_name ctx node) name then begin
+        (if prev = 0 then Memory.set_int ctx.Ctx.mem head_off next
+         else Memory.set_int ctx.Ctx.mem ~region:Memory.Heap prev next);
+        Pheap.free (ctx.Ctx.pheap ()) node;
+        true
+      end
+      else walk node next
+    end
+  in
+  walk 0 (Memory.get_int ctx.Ctx.mem head_off)
+
+let insert ctx name sys =
+  let size = 8 + Memory.string_footprint name + Memory.string_footprint sys in
+  let node = Pheap.alloc (ctx.Ctx.pheap ()) size in
+  Memory.set_int ctx.Ctx.mem ~region:Memory.Heap node
+    (Memory.get_int ctx.Ctx.mem head_off);
+  Memory.set_string ctx.Ctx.mem ~region:Memory.Heap (node + 8) name;
+  Memory.set_string ctx.Ctx.mem ~region:Memory.Heap
+    (node + 8 + Memory.string_footprint name)
+    sys;
+  Memory.set_int ctx.Ctx.mem head_off node
+
+let cls =
+  Obj_class.define ~name:"nameserver" ~heap_pages:4
+    [
+      (* binds are local consistency preserving: with the atomicity
+         manager installed they commit to the data server, so names
+         survive compute-server crashes; without it they degrade to
+         s-thread semantics *)
+      Obj_class.entry ~label:Obj_class.Lcp "bind" (fun ctx arg ->
+          charge ctx;
+          let name_v, sys_v = Value.to_pair arg in
+          let name = Value.to_string name_v in
+          let sys = Value.to_string sys_v in
+          ignore (remove ctx name);
+          insert ctx name sys;
+          Value.Unit);
+      Obj_class.entry "lookup" (fun ctx arg ->
+          charge ctx;
+          let name = Value.to_string arg in
+          match find ctx name with
+          | Some node -> Value.Str (get_sys ctx node)
+          | None -> Value.Unit);
+      Obj_class.entry ~label:Obj_class.Lcp "unbind" (fun ctx arg ->
+          charge ctx;
+          Value.Bool (remove ctx (Value.to_string arg)));
+      Obj_class.entry "list" (fun ctx _arg ->
+          charge ctx;
+          Value.List
+            (fold ctx
+               (fun acc node ->
+                 Value.Pair
+                   (Value.Str (get_name ctx node), Value.Str (get_sys ctx node))
+                 :: acc)
+               []));
+    ]
+
+let boot om =
+  let cl = Object_manager.cluster om in
+  match cl.Cluster.name_server with
+  | Some s -> s
+  | None ->
+      if Cluster.find_class cl "nameserver" = None then
+        Cluster.register_class cl cls;
+      let obj = Object_manager.create_object om ~class_name:"nameserver" Value.Unit in
+      cl.Cluster.name_server <- Some obj;
+      obj
+
+let ns_invoke om entry arg =
+  let cl = Object_manager.cluster om in
+  let ns = boot om in
+  let node = Cluster.pick_compute cl in
+  Object_manager.invoke om ~node ~thread_id:0 ~origin:None ~txn:None ~obj:ns
+    ~entry arg
+
+let bind om ~name sys =
+  match
+    ns_invoke om "bind"
+      (Value.Pair (Value.Str name, Value.Str (Ra.Sysname.to_string sys)))
+  with
+  | Value.Unit -> ()
+  | _ -> failwith "name server: bad bind reply"
+
+let lookup om name =
+  match ns_invoke om "lookup" (Value.Str name) with
+  | Value.Str s -> Ra.Sysname.of_string s
+  | Value.Unit -> None
+  | _ -> failwith "name server: bad lookup reply"
+
+let unbind om name = ignore (ns_invoke om "unbind" (Value.Str name))
+
+let bindings om =
+  match ns_invoke om "list" Value.Unit with
+  | Value.List l ->
+      List.filter_map
+        (fun v ->
+          match v with
+          | Value.Pair (Value.Str n, Value.Str s) -> (
+              match Ra.Sysname.of_string s with
+              | Some sys -> Some (n, sys)
+              | None -> None)
+          | _ -> None)
+        l
+  | _ -> []

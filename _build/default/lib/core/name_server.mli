@@ -1,0 +1,25 @@
+(** The name server — itself a Clouds object.
+
+    Users give objects high-level names; the name server translates
+    them to sysnames.  True to the paper's philosophy, the service is
+    implemented {e as an application object}: the bindings live in
+    the object's persistent data and heap, and lookups are ordinary
+    invocations.  [boot] instantiates it and records its sysname in
+    the cluster. *)
+
+val cls : Obj_class.t
+(** The "nameserver" class (entries: bind, lookup, unbind, list). *)
+
+val boot : Object_manager.t -> Ra.Sysname.t
+(** Load the class (if needed), create the instance and publish it as
+    the cluster's name server.  Idempotent. *)
+
+val bind : Object_manager.t -> name:string -> Ra.Sysname.t -> unit
+(** Register or replace a binding (invokes the name-server object). *)
+
+val lookup : Object_manager.t -> string -> Ra.Sysname.t option
+
+val unbind : Object_manager.t -> string -> unit
+
+val bindings : Object_manager.t -> (string * Ra.Sysname.t) list
+(** All bindings, unordered. *)

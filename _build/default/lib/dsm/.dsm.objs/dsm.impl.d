@@ -1,0 +1,1 @@
+lib/dsm/dsm.ml: Dsm_client Dsm_server Lock_table Protocol

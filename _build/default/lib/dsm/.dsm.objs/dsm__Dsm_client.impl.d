@@ -1,0 +1,1 @@
+lib/dsm/dsm_client.ml: List Net Printf Protocol Ra Ratp Sim Store

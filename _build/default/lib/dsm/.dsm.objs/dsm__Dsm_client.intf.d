@@ -1,0 +1,1 @@
+lib/dsm/dsm_client.mli: Net Ra Store

@@ -1,0 +1,1 @@
+lib/dsm/dsm_server.ml: Hashtbl List Lock_table Net Printf Protocol Ra Ratp Sim Store

@@ -1,0 +1,1 @@
+lib/dsm/dsm_server.mli: Lock_table Net Ra Sim Store

@@ -1,0 +1,1 @@
+lib/dsm/lock_table.ml: List Protocol Ra Sim

@@ -1,0 +1,1 @@
+lib/dsm/lock_table.mli: Protocol Ra

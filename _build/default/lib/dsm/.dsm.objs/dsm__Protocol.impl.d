@@ -1,0 +1,1 @@
+lib/dsm/protocol.ml: Bytes Format Int List Ra Ratp Store

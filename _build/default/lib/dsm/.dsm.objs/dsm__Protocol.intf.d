@@ -1,0 +1,1 @@
+lib/dsm/protocol.mli: Format Ra Ratp Store

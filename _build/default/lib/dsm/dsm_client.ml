@@ -1,0 +1,102 @@
+module P = Protocol
+
+exception Unavailable of Ra.Sysname.t
+
+type t = {
+  node : Ra.Node.t;
+  locate : Ra.Sysname.t -> Net.Address.t;
+  local_store : Store.Segment_store.t option;
+  fetches : Sim.Stats.counter;
+  invals : Sim.Stats.counter;
+  downs : Sim.Stats.counter;
+}
+
+let node t = t.node
+
+let remote_fetch t ~seg ~page ~mode =
+  let home = t.locate seg in
+  Sim.Stats.incr t.fetches;
+  let body = P.Get_page { seg; page; mode } in
+  match
+    Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst:home ~service:P.service
+      ~size:(P.request_bytes body) body
+  with
+  | Ok (P.Got_page data) -> data
+  | Ok P.Page_error -> raise (Ra.Partition.No_segment seg)
+  | Ok _ | Error Ratp.Endpoint.Timeout -> raise (Unavailable seg)
+
+let remote_writeback t ~seg ~page data =
+  let home = t.locate seg in
+  let body = P.Put_page { seg; page; data } in
+  match
+    Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst:home ~service:P.service
+      ~size:(P.request_bytes body) body
+  with
+  | Ok P.Batch_ok -> ()
+  | Ok P.Segment_error -> raise (Ra.Partition.No_segment seg)
+  | Ok _ | Error Ratp.Endpoint.Timeout -> raise (Unavailable seg)
+
+let is_local t seg =
+  match t.local_store with
+  | Some store ->
+      Net.Address.equal (t.locate seg) t.node.Ra.Node.id
+      && Store.Segment_store.exists store seg
+  | None -> false
+
+let partition t =
+  {
+    Ra.Partition.name = Printf.sprintf "dsm-client-%d" t.node.Ra.Node.id;
+    fetch =
+      (fun ~seg ~page ~mode ->
+        match t.local_store with
+        | Some store when is_local t seg ->
+            Store.Segment_store.read_page store seg page
+        | Some _ | None -> remote_fetch t ~seg ~page ~mode);
+    writeback =
+      (fun ~seg ~page data ->
+        match t.local_store with
+        | Some store when is_local t seg ->
+            Store.Segment_store.write_page store seg page data
+        | Some _ | None -> remote_writeback t ~seg ~page data);
+  }
+
+let create node ~locate ?local_store () =
+  let t =
+    {
+      node;
+      locate;
+      local_store;
+      fetches = Sim.Stats.counter "dsmc.fetches";
+      invals = Sim.Stats.counter "dsmc.invals";
+      downs = Sim.Stats.counter "dsmc.downs";
+    }
+  in
+  Ra.Mmu.set_resolver node.Ra.Node.mmu (fun _seg -> partition t);
+  Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.client_service
+    (fun ~src:_ body ->
+      let reply =
+        match body with
+        | P.Invalidate { seg; page } ->
+            Sim.Stats.incr t.invals;
+            P.Invalidated { dirty = Ra.Mmu.invalidate node.Ra.Node.mmu seg page }
+        | P.Downgrade { seg; page } ->
+            Sim.Stats.incr t.downs;
+            P.Downgraded { dirty = Ra.Mmu.downgrade node.Ra.Node.mmu seg page }
+        | _ -> P.Page_error
+      in
+      (reply, P.request_bytes reply));
+  t
+
+let flush_segment t seg =
+  let mmu = t.node.Ra.Node.mmu in
+  List.iter
+    (fun (page, data) ->
+      (partition t).Ra.Partition.writeback ~seg ~page data;
+      Ra.Mmu.mark_clean mmu seg page)
+    (Ra.Mmu.dirty_pages mmu seg)
+
+let drop_segment t seg = Ra.Mmu.drop_segment t.node.Ra.Node.mmu seg
+
+let remote_fetches t = Sim.Stats.value t.fetches
+let invalidations_received t = Sim.Stats.value t.invals
+let downgrades_received t = Sim.Stats.value t.downs

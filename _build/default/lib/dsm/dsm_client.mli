@@ -1,0 +1,43 @@
+(** The DSM client: the partition compute servers page through.
+
+    Page faults on a compute server become [Get_page] transactions to
+    the data server that stores the segment; the client also answers
+    the server-initiated invalidation and downgrade calls that keep
+    every copy coherent.  Together with {!Dsm_server} this gives each
+    node the illusion that every object logically resides locally —
+    the paper's distributed shared memory. *)
+
+exception Unavailable of Ra.Sysname.t
+(** The segment's data server did not answer (crashed or
+    partitioned). *)
+
+type t
+
+val create :
+  Ra.Node.t ->
+  locate:(Ra.Sysname.t -> Net.Address.t) ->
+  ?local_store:Store.Segment_store.t ->
+  unit ->
+  t
+(** Install the DSM client on a node and point the node's MMU at it.
+    [locate] maps a segment to its data server.  When the node is
+    itself a data server, [local_store] serves its own segments
+    without network traffic (a machine with a disk is both a compute
+    and data server). *)
+
+val partition : t -> Ra.Partition.t
+
+val node : t -> Ra.Node.t
+
+val flush_segment : t -> Ra.Sysname.t -> unit
+(** Write every dirty resident page of the segment back to its data
+    server and mark the frames clean (used by s-threads that want
+    their updates stored, and by examples). *)
+
+val drop_segment : t -> Ra.Sysname.t -> unit
+(** Locally invalidate all frames of a segment without writing them
+    back (transaction abort). *)
+
+val remote_fetches : t -> int
+val invalidations_received : t -> int
+val downgrades_received : t -> int

@@ -1,0 +1,386 @@
+module P = Protocol
+
+type owner_state = {
+  mutable owner : Net.Address.t option;
+  mutable copyset : Net.Address.t list;
+}
+
+module Txn_table = Hashtbl.Make (struct
+  type t = P.txn_id
+
+  let equal a b = P.txn_compare a b = 0
+  let hash (t : t) = Hashtbl.hash (t.P.tnode, t.P.tseq)
+end)
+
+type t = {
+  node : Ra.Node.t;
+  store : Store.Segment_store.t;
+  disk : Store.Disk.t;
+  wal : Store.Wal.t;
+  directory : Store.Directory.t;
+  mutable locks : Lock_table.t;
+  page_mutexes : (Ra.Sysname.t * int, Sim.Mutex.t) Hashtbl.t;
+  owners : (Ra.Sysname.t * int, owner_state) Hashtbl.t;
+  suspects : (Net.Address.t, unit) Hashtbl.t;
+      (* nodes whose recalls timed out; skipped until they speak again *)
+  warmed : unit Ra.Sysname.Table.t;
+      (* segments whose backing file has been read at least once; the
+         first touch pays a disk read (cold buffer cache) *)
+  prepared : P.write_set Txn_table.t;
+  presume_abort_after : Sim.Time.span;
+  mutable oracle : (int * int) -> [ `Committed | `Aborted | `Pending | `Unknown ];
+  served : Sim.Stats.counter;
+  invals : Sim.Stats.counter;
+  downs : Sim.Stats.counter;
+  commit_count : Sim.Stats.counter;
+  abort_count : Sim.Stats.counter;
+}
+
+let node t = t.node
+let store t = t.store
+let directory t = t.directory
+let wal t = t.wal
+let locks t = t.locks
+
+let page_mutex t key =
+  match Hashtbl.find_opt t.page_mutexes key with
+  | Some m -> m
+  | None ->
+      let m = Sim.Mutex.create ~label:"dsm-page" () in
+      Hashtbl.replace t.page_mutexes key m;
+      m
+
+let owner_state t key =
+  match Hashtbl.find_opt t.owners key with
+  | Some s -> s
+  | None ->
+      let s = { owner = None; copyset = [] } in
+      Hashtbl.replace t.owners key s;
+      s
+
+let call_client t ~dst body =
+  Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.client_service
+    ~size:(P.request_bytes body) body
+
+(* Pull the current contents of a page back from its owner (dirty
+   write copy) into the store, demoting or dropping the owner's
+   frame.  A dead owner simply times out and the store copy stands
+   (its unwritten updates are lost, which is correct crash
+   semantics for non-committed data). *)
+let recall t key ~(drop : bool) =
+  let seg, page = key in
+  let st = owner_state t key in
+  (match st.owner with
+  | None -> ()
+  | Some w ->
+      let msg =
+        if drop then P.Invalidate { seg; page } else P.Downgrade { seg; page }
+      in
+      (if drop then Sim.Stats.incr t.invals else Sim.Stats.incr t.downs);
+      (if not (Hashtbl.mem t.suspects w) then
+         match call_client t ~dst:w msg with
+         | Ok (P.Invalidated { dirty = Some d })
+         | Ok (P.Downgraded { dirty = Some d }) ->
+             Store.Segment_store.write_page t.store seg page d
+         | Ok _ -> ()
+         | Error Ratp.Endpoint.Timeout ->
+             (* the owner is unreachable: remember that and stop
+                waiting on it until it speaks to us again *)
+             Hashtbl.replace t.suspects w ());
+      st.owner <- None;
+      if not drop then
+        if not (List.mem w st.copyset) then st.copyset <- w :: st.copyset)
+
+let drop_readers t key ~except =
+  let seg, page = key in
+  let st = owner_state t key in
+  List.iter
+    (fun c ->
+      if (not (Net.Address.equal c except)) && not (Hashtbl.mem t.suspects c)
+      then begin
+        Sim.Stats.incr t.invals;
+        match call_client t ~dst:c (P.Invalidate { seg; page }) with
+        | Ok _ -> ()
+        | Error Ratp.Endpoint.Timeout -> Hashtbl.replace t.suspects c ()
+      end)
+    (List.sort Net.Address.compare st.copyset);
+  st.copyset <- List.filter (Net.Address.equal except) st.copyset
+
+let warm_segment t seg =
+  if not (Ra.Sysname.Table.mem t.warmed seg) then begin
+    Ra.Sysname.Table.replace t.warmed seg ();
+    (* objects are stored in files on the data server: the first
+       access to a cold segment reads it from disk *)
+    Store.Disk.read t.disk ~bytes:Ra.Page.size
+  end
+
+let handle_get t ~src seg page mode =
+  let key = (seg, page) in
+  Sim.Mutex.with_lock (page_mutex t key) (fun () ->
+      if not (Store.Segment_store.exists t.store seg) then P.Page_error
+      else begin
+        warm_segment t seg;
+        let st = owner_state t key in
+        (match mode with
+        | Ra.Partition.Read ->
+            (match st.owner with
+            | Some w when not (Net.Address.equal w src) ->
+                recall t key ~drop:false
+            | Some _ ->
+                (* the owner itself re-reads after losing its frame *)
+                st.owner <- None
+            | None -> ());
+            if not (List.mem src st.copyset) then
+              st.copyset <- src :: st.copyset
+        | Ra.Partition.Write ->
+            (match st.owner with
+            | Some w when not (Net.Address.equal w src) ->
+                recall t key ~drop:true
+            | Some _ | None -> ());
+            drop_readers t key ~except:src;
+            st.owner <- Some src;
+            st.copyset <- []);
+        Sim.Stats.incr t.served;
+        P.Got_page (Store.Segment_store.read_page t.store seg page)
+      end)
+
+let release_txn_everywhere t txn = Lock_table.release_txn t.locks txn
+
+let apply_writes t writes =
+  List.iter
+    (fun (seg, page, data) ->
+      if Store.Segment_store.exists t.store seg then
+        Store.Segment_store.write_page t.store seg page data)
+    writes
+
+let handle_prepare t txn writes =
+  let valid =
+    List.for_all
+      (fun (seg, _, _) -> Store.Segment_store.exists t.store seg)
+      writes
+  in
+  if not valid then P.Vote false
+  else begin
+    Store.Wal.append t.wal
+      (Store.Wal.Prepared { txn = (txn.P.tnode, txn.P.tseq); writes });
+    Txn_table.replace t.prepared txn writes;
+    (* presumed abort: if the coordinator dies before deciding, the
+       participant self-aborts after a timeout *)
+    let eng = t.node.Ra.Node.eng in
+    Sim.Engine.at eng
+      (Sim.Time.add (Sim.Engine.now eng) t.presume_abort_after)
+      (fun () ->
+        if Txn_table.mem t.prepared txn then
+          ignore
+            (Ra.Node.spawn t.node "presumed-abort" (fun () ->
+                 if Txn_table.mem t.prepared txn then begin
+                   Store.Wal.append t.wal
+                     (Store.Wal.Aborted (txn.P.tnode, txn.P.tseq));
+                   Txn_table.remove t.prepared txn;
+                   Sim.Stats.incr t.abort_count;
+                   release_txn_everywhere t txn
+                 end)));
+    P.Vote true
+  end
+
+let handle_commit t txn =
+  (match Txn_table.find_opt t.prepared txn with
+  | Some writes ->
+      Store.Wal.append t.wal (Store.Wal.Committed (txn.P.tnode, txn.P.tseq));
+      apply_writes t writes;
+      Txn_table.remove t.prepared txn;
+      Sim.Stats.incr t.commit_count
+  | None -> ());
+  release_txn_everywhere t txn;
+  P.Txn_done
+
+let handle_abort t txn =
+  (match Txn_table.find_opt t.prepared txn with
+  | Some _ ->
+      Store.Wal.append t.wal (Store.Wal.Aborted (txn.P.tnode, txn.P.tseq));
+      Txn_table.remove t.prepared txn;
+      Sim.Stats.incr t.abort_count
+  | None -> ());
+  release_txn_everywhere t txn;
+  P.Txn_done
+
+let handle t ~src body =
+  (* any message from a node proves it is alive again *)
+  Hashtbl.remove t.suspects src;
+  match body with
+  | P.Get_page { seg; page; mode } -> handle_get t ~src seg page mode
+  | P.Put_page { seg; page; data } ->
+      if Store.Segment_store.exists t.store seg then begin
+        Store.Segment_store.write_page t.store seg page data;
+        P.Batch_ok
+      end
+      else P.Segment_error
+  | P.Put_batch writes ->
+      apply_writes t writes;
+      P.Batch_ok
+  | P.Overwrite writes ->
+      (* replica propagation: force these page images in, dropping
+         every cached copy so no node can serve stale data *)
+      List.iter
+        (fun (seg, page, data) ->
+          if Store.Segment_store.exists t.store seg then
+            Sim.Mutex.with_lock
+              (page_mutex t (seg, page))
+              (fun () ->
+                recall t (seg, page) ~drop:true;
+                drop_readers t (seg, page) ~except:(-1);
+                Store.Segment_store.write_page t.store seg page data))
+        writes;
+      P.Batch_ok
+  | P.Create_segment { seg; size } ->
+      if Store.Segment_store.exists t.store seg then P.Segment_error
+      else begin
+        Store.Segment_store.create_segment t.store seg ~size;
+        P.Segment_ok
+      end
+  | P.Delete_segment seg ->
+      Store.Segment_store.delete_segment t.store seg;
+      Hashtbl.iter
+        (fun (s, _) st ->
+          if Ra.Sysname.equal s seg then begin
+            st.owner <- None;
+            st.copyset <- []
+          end)
+        t.owners;
+      P.Segment_ok
+  | P.Lock_segment { seg; kind; txn } -> (
+      match Lock_table.acquire t.locks seg txn kind with
+      | `Granted -> P.Lock_granted
+      | `Cancelled -> P.Lock_cancelled)
+  | P.Get_descriptor obj ->
+      (* the object header lives with its segments on disk *)
+      Store.Disk.read t.disk ~bytes:512;
+      P.Descriptor (Store.Directory.lookup t.directory obj)
+  | P.Register_object { obj; descriptor } ->
+      Store.Directory.register t.directory obj descriptor;
+      P.Registered
+  | P.Unregister_object obj ->
+      Store.Directory.remove t.directory obj;
+      P.Registered
+  | P.Prepare { txn; writes } -> handle_prepare t txn writes
+  | P.Commit { txn } -> handle_commit t txn
+  | P.Abort { txn } -> handle_abort t txn
+  | P.List_objects -> P.Objects (Store.Directory.objects t.directory)
+  | _ -> P.Page_error
+
+let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60) () =
+  let disk =
+    Store.Disk.create ?config:disk_config
+      (Printf.sprintf "disk-%d" node.Ra.Node.id)
+  in
+  let t =
+    {
+      node;
+      store =
+        Store.Segment_store.create (Printf.sprintf "store-%d" node.Ra.Node.id);
+      disk;
+      wal = Store.Wal.create disk;
+      directory = Store.Directory.create ();
+      locks = Lock_table.create ();
+      page_mutexes = Hashtbl.create 64;
+      owners = Hashtbl.create 64;
+      suspects = Hashtbl.create 8;
+      warmed = Ra.Sysname.Table.create 64;
+      prepared = Txn_table.create 8;
+      presume_abort_after;
+      oracle = (fun _ -> `Unknown);
+      served = Sim.Stats.counter "dsm.pages_served";
+      invals = Sim.Stats.counter "dsm.invalidations";
+      downs = Sim.Stats.counter "dsm.downgrades";
+      commit_count = Sim.Stats.counter "dsm.commits";
+      abort_count = Sim.Stats.counter "dsm.aborts";
+    }
+  in
+  Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.service
+    (fun ~src body ->
+      let reply = handle t ~src body in
+      (reply, P.request_bytes reply));
+  t
+
+let set_outcome_oracle t oracle = t.oracle <- oracle
+
+let recover t =
+  Hashtbl.reset t.owners;
+  Hashtbl.reset t.suspects;
+  Hashtbl.reset t.page_mutexes;
+  Txn_table.reset t.prepared;
+  t.locks <- Lock_table.create ();
+  let applied = ref [] in
+  let decide txn =
+    match t.oracle txn with
+    | `Committed -> `Commit
+    | `Aborted | `Unknown -> `Abort
+    | `Pending -> `Keep
+  in
+  Store.Wal.recover t.wal t.store ~decide ~applied;
+  (* transactions kept in doubt go back into the prepared table so a
+     late Commit/Abort from the coordinator still applies; a timer
+     re-resolves them if the decision never arrives *)
+  let settled = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r with
+      | Store.Wal.Committed txn | Store.Wal.Aborted txn ->
+          Hashtbl.replace settled txn ()
+      | Store.Wal.Prepared _ -> ())
+    (Store.Wal.records t.wal);
+  List.iter
+    (fun r ->
+      match r with
+      | Store.Wal.Prepared { txn = tnode, tseq; writes }
+        when not (Hashtbl.mem settled (tnode, tseq)) ->
+          let txn = { P.tnode; tseq } in
+          Txn_table.replace t.prepared txn writes;
+          (* recovery locking: the in-doubt transaction's write locks
+             must be held again, or later transactions would read
+             state its pending commit will overwrite *)
+          List.iter
+            (fun (seg, _, _) ->
+              match Lock_table.acquire t.locks seg txn P.W with
+              | `Granted -> ()
+              | `Cancelled -> ())
+            (List.sort_uniq
+               (fun (a, _, _) (b, _, _) -> Ra.Sysname.compare a b)
+               writes);
+          let eng = t.node.Ra.Node.eng in
+          Sim.Engine.at eng
+            (Sim.Time.add (Sim.Engine.now eng) t.presume_abort_after)
+            (fun () ->
+              if Txn_table.mem t.prepared txn then begin
+                match t.oracle (tnode, tseq) with
+                | `Committed ->
+                    Store.Wal.append_nowait t.wal
+                      (Store.Wal.Committed (tnode, tseq));
+                    apply_writes t writes;
+                    Txn_table.remove t.prepared txn;
+                    release_txn_everywhere t txn
+                | `Aborted | `Unknown ->
+                    Store.Wal.append_nowait t.wal
+                      (Store.Wal.Aborted (tnode, tseq));
+                    Txn_table.remove t.prepared txn;
+                    release_txn_everywhere t txn
+                | `Pending -> ()
+              end)
+      | Store.Wal.Prepared _ | Store.Wal.Committed _ | Store.Wal.Aborted _ -> ())
+    (Store.Wal.records t.wal)
+
+let owner_of t seg page =
+  match Hashtbl.find_opt t.owners (seg, page) with
+  | Some st -> st.owner
+  | None -> None
+
+let copyset_of t seg page =
+  match Hashtbl.find_opt t.owners (seg, page) with
+  | Some st -> List.sort Net.Address.compare st.copyset
+  | None -> []
+
+let pages_served t = Sim.Stats.value t.served
+let invalidations_sent t = Sim.Stats.value t.invals
+let downgrades_sent t = Sim.Stats.value t.downs
+let commits t = Sim.Stats.value t.commit_count
+let aborts t = Sim.Stats.value t.abort_count

@@ -1,0 +1,56 @@
+(** The DSM server: the system object running on every data server.
+
+    It is the fixed distributed manager (in the Li–Hudak sense) for
+    the segments it stores: it tracks, per page, the current owner
+    (a compute server holding a write copy) and the copyset (nodes
+    holding read copies), and preserves one-copy semantics by
+    downgrading or invalidating remote copies before granting
+    conflicting access.  It also provides the synchronization support
+    the paper assigns to data servers: segment-level locks for
+    consistency-preserving threads, and the participant side of
+    two-phase commit backed by a write-ahead log. *)
+
+type t
+
+val create :
+  Ra.Node.t ->
+  ?disk_config:Store.Disk.config ->
+  ?presume_abort_after:Sim.Time.span ->
+  unit ->
+  t
+(** Install the DSM service on a data-server node.  State in
+    {!Store.Segment_store} and {!Store.Wal} survives crashes;
+    ownership, locks and prepared-transaction tables are volatile. *)
+
+val node : t -> Ra.Node.t
+val store : t -> Store.Segment_store.t
+val directory : t -> Store.Directory.t
+val wal : t -> Store.Wal.t
+val locks : t -> Lock_table.t
+
+val set_outcome_oracle :
+  t -> ((int * int) -> [ `Committed | `Aborted | `Pending | `Unknown ]) -> unit
+(** How a recovering participant learns the fate of a transaction it
+    prepared but never saw decided: ask the coordinator (the
+    atomicity manager installs this).  [`Pending] — the coordinator
+    is alive but has not decided — keeps the participant's promise to
+    commit (the transaction stays prepared); [`Unknown] — coordinator
+    crashed or forgot — means presumed abort. *)
+
+val recover : t -> unit
+(** Run after {!Ra.Node.restart}: clear volatile coherence and lock
+    state and replay the write-ahead log into the segment store,
+    resolving in-doubt transactions through the outcome oracle
+    (presumed abort without one). *)
+
+val owner_of : t -> Ra.Sysname.t -> int -> Net.Address.t option
+(** Current write owner of a page (tests). *)
+
+val copyset_of : t -> Ra.Sysname.t -> int -> Net.Address.t list
+(** Nodes holding read copies (tests); sorted. *)
+
+val pages_served : t -> int
+val invalidations_sent : t -> int
+val downgrades_sent : t -> int
+val commits : t -> int
+val aborts : t -> int

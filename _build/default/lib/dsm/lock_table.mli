@@ -1,0 +1,32 @@
+(** Segment-level lock service state.
+
+    Data servers grant read/write locks on segments to
+    consistency-preserving transactions (the paper's automatic
+    segment-granularity locking).  Requests are granted in FIFO
+    order; a transaction holds at most one lock per segment, upgraded
+    from read to write on demand.  All of a transaction's locks are
+    released together when it commits or aborts, and its still-queued
+    requests are cancelled — deadlocks are broken by the client's
+    timeout-and-abort policy. *)
+
+type t
+
+val create : unit -> t
+
+val acquire :
+  t -> Ra.Sysname.t -> Protocol.txn_id -> Protocol.lock_kind ->
+  [ `Granted | `Cancelled ]
+(** Blocks the calling process until the lock is granted or the
+    transaction's pending requests are cancelled by
+    {!release_txn}. *)
+
+val holds :
+  t -> Ra.Sysname.t -> Protocol.txn_id -> Protocol.lock_kind option
+(** Lock currently held by the transaction on the segment. *)
+
+val release_txn : t -> Protocol.txn_id -> unit
+(** Release every lock held by the transaction, cancel its queued
+    requests, and grant now-compatible waiters. *)
+
+val queue_length : t -> Ra.Sysname.t -> int
+(** Waiters queued on a segment (tests). *)

@@ -1,0 +1,87 @@
+type txn_id = { tnode : int; tseq : int }
+
+type lock_kind = R | W
+
+type write_set = (Ra.Sysname.t * int * bytes) list
+
+type Ratp.Packet.body +=
+  | Get_page of { seg : Ra.Sysname.t; page : int; mode : Ra.Partition.mode }
+  | Got_page of Ra.Partition.fetch_data
+  | Page_error
+  | Put_page of { seg : Ra.Sysname.t; page : int; data : bytes }
+  | Put_batch of write_set
+  | Overwrite of write_set
+  | Batch_ok
+  | Invalidate of { seg : Ra.Sysname.t; page : int }
+  | Invalidated of { dirty : bytes option }
+  | Downgrade of { seg : Ra.Sysname.t; page : int }
+  | Downgraded of { dirty : bytes option }
+  | Create_segment of { seg : Ra.Sysname.t; size : int }
+  | Delete_segment of Ra.Sysname.t
+  | Segment_ok
+  | Segment_error
+  | Lock_segment of { seg : Ra.Sysname.t; kind : lock_kind; txn : txn_id }
+  | Lock_granted
+  | Lock_cancelled
+  | Get_descriptor of Ra.Sysname.t
+  | Descriptor of Store.Directory.descriptor option
+  | Register_object of {
+      obj : Ra.Sysname.t;
+      descriptor : Store.Directory.descriptor;
+    }
+  | Unregister_object of Ra.Sysname.t
+  | Registered
+  | Prepare of { txn : txn_id; writes : write_set }
+  | Vote of bool
+  | Commit of { txn : txn_id }
+  | Abort of { txn : txn_id }
+  | Txn_done
+  | List_objects
+  | Objects of Ra.Sysname.t list
+
+let service = 10
+let client_service = 11
+
+let write_set_bytes ws =
+  List.fold_left (fun acc (_, _, data) -> acc + 24 + Bytes.length data) 0 ws
+
+let request_bytes = function
+  | Get_page _ -> 48
+  | Got_page (Ra.Partition.Data b) -> 48 + Bytes.length b
+  | Got_page Ra.Partition.Zeroed -> 48
+  | Page_error -> 32
+  | Put_page { data; _ } -> 48 + Bytes.length data
+  | Put_batch ws | Overwrite ws -> 48 + write_set_bytes ws
+  | Batch_ok -> 32
+  | Invalidate _ | Downgrade _ -> 48
+  | Invalidated { dirty } | Downgraded { dirty } -> (
+      match dirty with Some b -> 48 + Bytes.length b | None -> 48)
+  | Create_segment _ | Delete_segment _ -> 48
+  | Segment_ok | Segment_error -> 32
+  | Lock_segment _ -> 48
+  | Lock_granted | Lock_cancelled -> 32
+  | Get_descriptor _ -> 48
+  | Descriptor (Some d) -> 48 + Store.Directory.descriptor_bytes d
+  | Descriptor None -> 48
+  | Register_object { descriptor; _ } ->
+      48 + Store.Directory.descriptor_bytes descriptor
+  | Unregister_object _ -> 48
+  | Registered -> 32
+  | Prepare { writes; _ } -> 64 + write_set_bytes writes
+  | Vote _ -> 32
+  | Commit _ | Abort _ -> 48
+  | Txn_done -> 32
+  | List_objects -> 32
+  | Objects names -> 32 + (16 * List.length names)
+  | _ -> 64
+
+let txn_compare a b =
+  match Int.compare a.tnode b.tnode with
+  | 0 -> Int.compare a.tseq b.tseq
+  | c -> c
+
+let pp_txn fmt t = Format.fprintf fmt "txn-%d.%d" t.tnode t.tseq
+
+let pp_lock_kind fmt = function
+  | R -> Format.pp_print_string fmt "R"
+  | W -> Format.pp_print_string fmt "W"

@@ -1,0 +1,66 @@
+(** DSM wire protocol.
+
+    All coherence, locking, directory and commit traffic between
+    compute servers (DSM clients) and data servers (DSM servers) uses
+    these RaTP message bodies.  Sizes model an 8K page plus headers
+    where page data is carried. *)
+
+(** Transactions are named by their coordinating node and a per-node
+    sequence number. *)
+type txn_id = { tnode : int; tseq : int }
+
+type lock_kind = R | W
+
+type write_set = (Ra.Sysname.t * int * bytes) list
+(** (segment, page index, page image) triples. *)
+
+type Ratp.Packet.body +=
+  | Get_page of { seg : Ra.Sysname.t; page : int; mode : Ra.Partition.mode }
+  | Got_page of Ra.Partition.fetch_data
+  | Page_error
+  | Put_page of { seg : Ra.Sysname.t; page : int; data : bytes }
+  | Put_batch of write_set
+  | Overwrite of write_set
+      (** server-side overwrite with invalidation of every cached
+          copy (replica propagation) *)
+  | Batch_ok
+  | Invalidate of { seg : Ra.Sysname.t; page : int }
+  | Invalidated of { dirty : bytes option }
+  | Downgrade of { seg : Ra.Sysname.t; page : int }
+  | Downgraded of { dirty : bytes option }
+  | Create_segment of { seg : Ra.Sysname.t; size : int }
+  | Delete_segment of Ra.Sysname.t
+  | Segment_ok
+  | Segment_error
+  | Lock_segment of { seg : Ra.Sysname.t; kind : lock_kind; txn : txn_id }
+  | Lock_granted
+  | Lock_cancelled
+  | Get_descriptor of Ra.Sysname.t
+  | Descriptor of Store.Directory.descriptor option
+  | Register_object of {
+      obj : Ra.Sysname.t;
+      descriptor : Store.Directory.descriptor;
+    }
+  | Unregister_object of Ra.Sysname.t
+  | Registered
+  | Prepare of { txn : txn_id; writes : write_set }
+  | Vote of bool
+  | Commit of { txn : txn_id }
+  | Abort of { txn : txn_id }
+  | Txn_done
+  | List_objects
+  | Objects of Ra.Sysname.t list
+
+val service : int
+(** RaTP service id of DSM servers. *)
+
+val client_service : int
+(** RaTP service id of DSM clients (server-initiated invalidation and
+    downgrade). *)
+
+val request_bytes : Ratp.Packet.body -> int
+(** Wire size of a message body. *)
+
+val txn_compare : txn_id -> txn_id -> int
+val pp_txn : Format.formatter -> txn_id -> unit
+val pp_lock_kind : Format.formatter -> lock_kind -> unit

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablations F1_sort F2_consistency F3_pet Report T1_kernel T2_network T3_invocation

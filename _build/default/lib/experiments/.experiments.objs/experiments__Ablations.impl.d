@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Bytes Clouds Dsm List Net Printf Ra Ratp Report Sim Store String

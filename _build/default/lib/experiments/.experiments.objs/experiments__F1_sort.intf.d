@@ -1,0 +1,1 @@
+lib/experiments/f1_sort.mli:

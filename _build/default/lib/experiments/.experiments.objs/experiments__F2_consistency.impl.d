@@ -1,0 +1,1 @@
+lib/experiments/f2_consistency.ml: Apps Array Atomicity Clouds List Printf Report Sim

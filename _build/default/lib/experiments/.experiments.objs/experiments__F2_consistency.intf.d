@@ -1,0 +1,1 @@
+lib/experiments/f2_consistency.mli:

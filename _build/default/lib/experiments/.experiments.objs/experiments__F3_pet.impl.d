@@ -1,0 +1,1 @@
+lib/experiments/f3_pet.ml: Array Atomicity Clouds List Pet Printf Ra Ratp Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/f3_pet.mli:

@@ -1,0 +1,1 @@
+lib/experiments/t1_kernel.ml: Bytes Printf Ra Report Sim Store

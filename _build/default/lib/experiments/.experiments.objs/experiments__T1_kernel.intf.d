@@ -1,0 +1,1 @@
+lib/experiments/t1_kernel.mli:

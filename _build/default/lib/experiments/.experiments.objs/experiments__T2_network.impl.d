@@ -1,0 +1,1 @@
+lib/experiments/t2_network.ml: Net Ra Ratp Report Sim

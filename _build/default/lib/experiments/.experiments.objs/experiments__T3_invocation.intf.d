@@ -1,0 +1,1 @@
+lib/experiments/t3_invocation.mli:

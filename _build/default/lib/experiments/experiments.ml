@@ -1,0 +1,16 @@
+(** The paper's evaluation, reproduced.
+
+    One module per table/figure of the reproduction (see DESIGN.md's
+    experiment index): T1 kernel costs, T2 networking, T3 invocation,
+    F1 distributed sort over DSM, F2 consistency costs, F3 PET
+    resilience.  Each module runs a fresh simulated cluster and
+    reports paper-vs-measured. *)
+
+module Report = Report
+module T1_kernel = T1_kernel
+module T2_network = T2_network
+module T3_invocation = T3_invocation
+module F1_sort = F1_sort
+module F2_consistency = F2_consistency
+module F3_pet = F3_pet
+module Ablations = Ablations

@@ -1,0 +1,56 @@
+type point = {
+  workers : int;
+  total_ms : float;
+  sort_ms : float;
+  merge_ms : float;
+  speedup : float;
+  page_moves : int;
+}
+
+type result = { elements : int; points : point list }
+
+let run ?(elements = 16_384) ?(worker_counts = [ 1; 2; 4; 8 ]) () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let sys = Clouds.boot eng ~compute:8 ~data:1 ~workstations:0 () in
+      let base = ref 0.0 in
+      let points =
+        List.map
+          (fun workers ->
+            let obj = Apps.Sorter.create sys.Clouds.om ~capacity:elements in
+            Apps.Sorter.fill sys.Clouds.om ~obj ~n:elements ~seed:42;
+            let sum = Apps.Sorter.checksum sys.Clouds.om ~obj in
+            let r = Apps.Sorter.distributed_sort sys.Clouds.om ~obj ~workers in
+            assert (Apps.Sorter.is_sorted sys.Clouds.om ~obj);
+            assert (Apps.Sorter.checksum sys.Clouds.om ~obj = sum);
+            if !base = 0.0 then base := r.Apps.Sorter.elapsed_ms;
+            {
+              workers;
+              total_ms = r.Apps.Sorter.elapsed_ms;
+              sort_ms = r.Apps.Sorter.sort_ms;
+              merge_ms = r.Apps.Sorter.merge_ms;
+              speedup = !base /. r.Apps.Sorter.elapsed_ms;
+              page_moves = r.Apps.Sorter.remote_page_moves;
+            })
+          worker_counts
+      in
+      { elements; points })
+
+let report r =
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "F1: distributed sort of %d elements in ONE object (section 5.1)"
+         r.elements)
+    (List.map
+       (fun p ->
+         {
+           Report.label = Printf.sprintf "%d worker thread(s)" p.workers;
+           paper = "-";
+           measured =
+             Printf.sprintf "%s (%.2fx)" (Report.ms p.total_ms) p.speedup;
+           note =
+             Printf.sprintf "sort %s | merge %s | %d page moves"
+               (Report.ms p.sort_ms) (Report.ms p.merge_ms) p.page_moves;
+         })
+       r.points)

@@ -1,0 +1,153 @@
+module V = Clouds.Value
+
+type mode_point = {
+  mode : string;
+  mean_ms : float;
+  throughput_per_s : float;
+  lock_rpcs : int;
+}
+
+type span_point = {
+  objects_touched : int;
+  servers_involved : int;
+  mean_ms : float;
+}
+
+type result = {
+  modes : mode_point list;
+  spans : span_point list;
+  samples : int;
+}
+
+(* A gcp entry that updates [k] accounts in one transaction. *)
+let batcher_cls =
+  Clouds.Obj_class.define ~name:"batcher"
+    [
+      Clouds.Obj_class.entry ~label:Clouds.Obj_class.Gcp "update_all"
+        (fun ctx arg ->
+          List.iter
+            (fun acct ->
+              ignore
+                (ctx.Clouds.Ctx.invoke ~obj:(V.to_sysname acct)
+                   ~entry:"credit_in_txn" (V.Int 1)))
+            (V.to_list arg);
+          V.Unit);
+    ]
+
+let run ?(samples = 30) () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let sys = Clouds.boot eng ~compute:2 ~data:4 ~workstations:0 () in
+      let mgr = Atomicity.Manager.install sys.Clouds.om () in
+      Apps.Bank.register sys.Clouds.om;
+      Clouds.Cluster.register_class sys.Clouds.cluster batcher_cls;
+      let node = sys.Clouds.cluster.Clouds.Cluster.compute_nodes.(0) in
+      let time f =
+        let t0 = Sim.now () in
+        f ();
+        Sim.Time.to_ms_f (Sim.Time.diff (Sim.now ()) t0)
+      in
+      (* part A: one deposit under each consistency label *)
+      let modes =
+        List.map
+          (fun (mode, label) ->
+            let acct = Apps.Bank.open_account sys.Clouds.om ~balance:0 () in
+            let entry =
+              match label with
+              | Clouds.Obj_class.Gcp -> "deposit"
+              | Clouds.Obj_class.Lcp -> "deposit_lcp"
+              | Clouds.Obj_class.S -> "deposit_s"
+            in
+            let deposit () =
+              ignore
+                (Clouds.Object_manager.invoke sys.Clouds.om ~node ~thread_id:0
+                   ~origin:None ~txn:None ~obj:acct ~entry (V.Int 1))
+            in
+            (* warm the object on the pinned invoking node *)
+            ignore
+              (Clouds.Object_manager.invoke sys.Clouds.om ~node ~thread_id:0
+                 ~origin:None ~txn:None ~obj:acct ~entry:"balance" V.Unit);
+            let rpcs0 = Atomicity.Manager.lock_rpcs mgr in
+            let stats = Sim.Stats.series mode in
+            for _ = 1 to samples do
+              Sim.Stats.add stats (time deposit)
+            done;
+            let mean_ms = Sim.Stats.mean stats in
+            {
+              mode;
+              mean_ms;
+              throughput_per_s = 1000.0 /. mean_ms;
+              lock_rpcs = Atomicity.Manager.lock_rpcs mgr - rpcs0;
+            })
+          [
+            ("s-thread", Clouds.Obj_class.S);
+            ("lcp-thread", Clouds.Obj_class.Lcp);
+            ("gcp-thread", Clouds.Obj_class.Gcp);
+          ]
+      in
+      (* part B: one gcp transaction spanning k objects over the data
+         servers *)
+      let batcher =
+        Clouds.Object_manager.create_object sys.Clouds.om ~class_name:"batcher"
+          V.Unit
+      in
+      let ndata = Array.length sys.Clouds.cluster.Clouds.Cluster.data_nodes in
+      let spans =
+        List.map
+          (fun k ->
+            let accounts =
+              List.init k (fun i ->
+                  Apps.Bank.open_account sys.Clouds.om
+                    ~home:(1 + (i mod ndata))
+                    ~balance:0 ())
+            in
+            let arg = V.List (List.map V.of_sysname accounts) in
+            (* warm pass *)
+            ignore
+              (Clouds.Object_manager.invoke sys.Clouds.om ~node ~thread_id:0
+                 ~origin:None ~txn:None ~obj:batcher ~entry:"update_all" arg);
+            let stats = Sim.Stats.series "span" in
+            for _ = 1 to samples / 3 do
+              Sim.Stats.add stats
+                (time (fun () ->
+                     ignore
+                       (Clouds.Object_manager.invoke sys.Clouds.om ~node
+                          ~thread_id:0 ~origin:None ~txn:None ~obj:batcher
+                          ~entry:"update_all" arg)))
+            done;
+            {
+              objects_touched = k;
+              servers_involved = min k ndata;
+              mean_ms = Sim.Stats.mean stats;
+            })
+          [ 1; 2; 4; 8 ]
+      in
+      { modes; spans; samples })
+
+let report r =
+  Report.table ~title:"F2a: consistency labels on one update (section 5.2.1)"
+    (List.map
+       (fun m ->
+         {
+           Report.label = m.mode;
+           paper = "-";
+           measured = Report.ms m.mean_ms;
+           note =
+             Printf.sprintf "%.0f updates/s | %d lock rpcs" m.throughput_per_s
+               m.lock_rpcs;
+         })
+       r.modes)
+  ^ "\n"
+  ^ Report.table
+      ~title:"F2b: gcp commit cost vs transaction span"
+      (List.map
+         (fun s ->
+           {
+             Report.label =
+               Printf.sprintf "%d object(s), %d data server(s)"
+                 s.objects_touched s.servers_involved;
+             paper = "-";
+             measured = Report.ms s.mean_ms;
+             note = "locks + 2-phase commit + WAL";
+           })
+         r.spans)

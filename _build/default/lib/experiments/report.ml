@@ -1,0 +1,26 @@
+type row = { label : string; paper : string; measured : string; note : string }
+
+let ms v =
+  if v >= 100.0 then Printf.sprintf "%.0f ms" v
+  else if v >= 10.0 then Printf.sprintf "%.1f ms" v
+  else Printf.sprintf "%.2f ms" v
+
+let table ~title rows =
+  let buf = Buffer.create 512 in
+  let width f =
+    List.fold_left (fun acc r -> max acc (String.length (f r))) 0 rows
+  in
+  let wl = max (width (fun r -> r.label)) (String.length "quantity") in
+  let wp = max (width (fun r -> r.paper)) (String.length "paper") in
+  let wm = max (width (fun r -> r.measured)) (String.length "measured") in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s  %*s  %*s  %s\n" wl "quantity" wp "paper" wm
+       "measured" "note");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s  %*s  %*s  %s\n" wl r.label wp r.paper wm
+           r.measured r.note))
+    rows;
+  Buffer.contents buf

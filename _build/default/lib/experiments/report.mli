@@ -1,0 +1,14 @@
+(** Table rendering for experiment reports. *)
+
+type row = {
+  label : string;
+  paper : string;  (** the paper's figure, verbatim (or "-") *)
+  measured : string;
+  note : string;
+}
+
+val table : title:string -> row list -> string
+(** Render an aligned text table with a header. *)
+
+val ms : float -> string
+(** Format a duration in ms with sensible precision. *)

@@ -1,0 +1,1 @@
+lib/net/net.ml: Address Ethernet Fault Frame Nic

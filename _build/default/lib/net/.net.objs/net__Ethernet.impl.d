@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Address Fault Frame Hashtbl List Nic Sim

@@ -1,0 +1,12 @@
+(** Network addresses.
+
+    Every machine on the simulated Ethernet has one address; the
+    simulation uses small integers, unique per cluster. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

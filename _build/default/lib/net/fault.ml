@@ -1,0 +1,34 @@
+type t = {
+  rng : Sim.Rng.t;
+  mutable drop_prob : float;
+  cuts : (Address.t * Address.t, unit) Hashtbl.t;
+  mutable dropped : int;
+}
+
+let create rng = { rng; drop_prob = 0.0; cuts = Hashtbl.create 8; dropped = 0 }
+
+let set_drop_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.set_drop_probability";
+  t.drop_prob <- p
+
+let cut t a b = Hashtbl.replace t.cuts (a, b) ()
+
+let cut_both t a b =
+  cut t a b;
+  cut t b a
+
+let heal t a b = Hashtbl.remove t.cuts (a, b)
+
+let heal_both t a b =
+  heal t a b;
+  heal t b a
+
+let deliverable t ~src ~dst =
+  let ok =
+    (not (Hashtbl.mem t.cuts (src, dst)))
+    && ((t.drop_prob = 0.0) || not (Sim.Rng.chance t.rng t.drop_prob))
+  in
+  if not ok then t.dropped <- t.dropped + 1;
+  ok
+
+let drops t = t.dropped

@@ -1,0 +1,32 @@
+(** Network fault injection.
+
+    Faults are applied at delivery time: probabilistic frame loss, cut
+    links (directional pairs), and detached destinations.  Tests and
+    experiments drive these to exercise RaTP retransmission, DSM
+    recovery and PET failure tolerance. *)
+
+type t
+
+val create : Sim.Rng.t -> t
+(** A fault model that initially delivers everything. *)
+
+val set_drop_probability : t -> float -> unit
+(** Uniform loss probability applied to every frame. *)
+
+val cut : t -> Address.t -> Address.t -> unit
+(** Drop all frames from the first address to the second (one
+    direction). *)
+
+val cut_both : t -> Address.t -> Address.t -> unit
+(** Cut both directions. *)
+
+val heal : t -> Address.t -> Address.t -> unit
+(** Undo {!cut} for that direction. *)
+
+val heal_both : t -> Address.t -> Address.t -> unit
+
+val deliverable : t -> src:Address.t -> dst:Address.t -> bool
+(** Decide (possibly randomly) whether a frame survives. *)
+
+val drops : t -> int
+(** Total frames dropped so far. *)

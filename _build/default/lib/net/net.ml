@@ -1,0 +1,8 @@
+(** Simulated local-area network: addresses, frames, a shared-bus
+    Ethernet with calibrated timing, NICs and fault injection. *)
+
+module Address = Address
+module Frame = Frame
+module Fault = Fault
+module Nic = Nic
+module Ethernet = Ethernet

@@ -1,0 +1,1 @@
+lib/pet/pet.ml: Failure Replica Runner

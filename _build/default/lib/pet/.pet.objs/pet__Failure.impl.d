@@ -1,0 +1,1 @@
+lib/pet/failure.ml: Clouds Dsm Ra Sim

@@ -1,0 +1,1 @@
+lib/pet/failure.mli: Clouds Net Sim

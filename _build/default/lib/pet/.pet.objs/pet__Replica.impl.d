@@ -1,0 +1,1 @@
+lib/pet/replica.ml: Array Clouds Dsm List Net Option Ra Ratp Store String

@@ -1,0 +1,1 @@
+lib/pet/replica.mli: Clouds Net Ra

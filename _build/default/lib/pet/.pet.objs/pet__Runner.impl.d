@@ -1,0 +1,1 @@
+lib/pet/runner.ml: Array Atomicity Clouds Fun List Ra Replica Sim

@@ -1,0 +1,1 @@
+lib/pet/runner.mli: Atomicity Clouds Replica

@@ -1,0 +1,30 @@
+module Cl = Clouds.Cluster
+
+let crash_now cl addr =
+  match Cl.node_by_id cl addr with
+  | Some node -> Ra.Node.crash node
+  | None -> invalid_arg "Failure.crash_now: unknown node"
+
+let crash_at cl addr span =
+  let eng = cl.Cl.eng in
+  Sim.Engine.at eng
+    (Sim.Time.add (Sim.Engine.now eng) span)
+    (fun () -> crash_now cl addr)
+
+let restart_at cl addr span =
+  let eng = cl.Cl.eng in
+  Sim.Engine.at eng
+    (Sim.Time.add (Sim.Engine.now eng) span)
+    (fun () ->
+      match Cl.node_by_id cl addr with
+      | Some node ->
+          Ra.Node.restart node;
+          (match Cl.server_at cl addr with
+          | Some server -> Dsm.Dsm_server.recover server
+          | None -> ())
+      | None -> ())
+
+let alive cl addr =
+  match Cl.node_by_id cl addr with
+  | Some node -> node.Ra.Node.alive
+  | None -> false

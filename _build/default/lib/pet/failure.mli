@@ -1,0 +1,16 @@
+(** Failure injection schedules for resilience experiments.
+
+    Static failures exist before the computation starts; dynamic
+    failures strike while it runs. *)
+
+val crash_at : Clouds.Cluster.t -> Net.Address.t -> Sim.Time.span -> unit
+(** Schedule a machine crash [span] from now. *)
+
+val crash_now : Clouds.Cluster.t -> Net.Address.t -> unit
+
+val restart_at : Clouds.Cluster.t -> Net.Address.t -> Sim.Time.span -> unit
+(** Schedule the machine's restart (NIC + RaTP receive loop; a data
+    server also needs {!Dsm.Dsm_server.recover}, which this performs
+    when the node is one). *)
+
+val alive : Clouds.Cluster.t -> Net.Address.t -> bool

@@ -1,0 +1,8 @@
+(** Fault tolerance through Parallel Execution Threads (§5.2.2):
+    object replication ({!Replica}), replicated consistency-preserving
+    threads with quorum commit ({!Runner}), and failure-injection
+    schedules ({!Failure}). *)
+
+module Replica = Replica
+module Runner = Runner
+module Failure = Failure

@@ -1,0 +1,36 @@
+(** The PET mechanism: parallel execution threads (§5.2.2, Figure 5).
+
+    A resilient computation runs as [parallel] independent
+    consistency-preserving threads, each on a different compute
+    server, each invoking a different replica of the target object.
+    When one completes, it becomes the {e terminating thread}: its
+    updates are propagated to a quorum of replicas; the remaining
+    threads are aborted.  If propagation cannot reach a quorum,
+    another completed thread is tried.  The computation tolerates
+    both static failures (machines already down when it starts) and
+    dynamic failures (crashes while it runs), at the price of the
+    extra resources the parallel threads consume — the trade-off the
+    paper's Figure 5 illustrates. *)
+
+type outcome = {
+  value : Clouds.Value.t option;  (** terminating thread's result, if any *)
+  winner : int option;  (** its PET index *)
+  completed : int;  (** threads that finished execution *)
+  killed : int;  (** threads aborted after the winner committed *)
+  quorum_ok : bool;  (** updates reached the quorum *)
+  replicas_updated : int;  (** members holding the committed state *)
+  thread_ms : float;  (** total thread time consumed (resource cost) *)
+}
+
+val run :
+  Atomicity.Manager.t ->
+  group:Replica.t ->
+  entry:string ->
+  parallel:int ->
+  quorum:int ->
+  Clouds.Value.t ->
+  outcome
+(** Execute the resilient computation from the current process.
+    [parallel] is the number of PETs (the paper's resilience
+    parameter); [quorum] the number of replicas that must accept the
+    updates for the commit to count. *)

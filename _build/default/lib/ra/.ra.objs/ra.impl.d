@@ -1,0 +1,1 @@
+lib/ra/ra.ml: Cpu Isiba Mmu Node Page Params Partition Sysname Virtual_space

@@ -1,0 +1,1 @@
+lib/ra/cpu.mli: Sim

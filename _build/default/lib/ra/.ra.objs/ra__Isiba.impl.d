@@ -1,0 +1,1 @@
+lib/ra/isiba.ml: Cpu Format Node Sim

@@ -1,0 +1,1 @@
+lib/ra/isiba.mli: Format Node Sim

@@ -1,0 +1,1 @@
+lib/ra/mmu.ml: Bytes Cpu Fun Hashtbl Int List Page Params Partition Sim Sysname Virtual_space

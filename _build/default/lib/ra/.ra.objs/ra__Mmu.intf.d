@@ -1,0 +1,1 @@
+lib/ra/mmu.mli: Cpu Params Partition Sysname Virtual_space

@@ -1,0 +1,1 @@
+lib/ra/node.ml: Cpu Format Mmu Net Params Ratp Sim Sysname

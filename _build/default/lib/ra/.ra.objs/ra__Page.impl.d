@@ -1,0 +1,1 @@
+lib/ra/page.ml: Bytes

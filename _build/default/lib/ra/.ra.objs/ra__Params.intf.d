@@ -1,0 +1,1 @@
+lib/ra/params.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/ra/partition.ml: Format Sysname

@@ -1,0 +1,1 @@
+lib/ra/partition.mli: Format Sysname

@@ -1,0 +1,1 @@
+lib/ra/sysname.ml: Format Hashtbl Int Printf Scanf

@@ -1,0 +1,1 @@
+lib/ra/sysname.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/ra/virtual_space.ml: Int List Page Sysname

@@ -1,0 +1,14 @@
+type stack = Kernel | User | Interrupt
+
+type t = { pid : Sim.Engine.pid; stack : stack; node : Node.t }
+
+let spawn node ?(stack = Kernel) name f =
+  let pid = Node.spawn node name f in
+  { pid; stack; node }
+
+let compute node span = Cpu.consume node.Node.cpu ~key:(Sim.self ()) span
+
+let pp_stack fmt = function
+  | Kernel -> Format.pp_print_string fmt "kernel"
+  | User -> Format.pp_print_string fmt "user"
+  | Interrupt -> Format.pp_print_string fmt "interrupt"

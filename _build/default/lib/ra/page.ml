@@ -1,0 +1,11 @@
+let size = 8192
+
+let zero () = Bytes.make size '\000'
+
+let copy b = Bytes.copy b
+
+let index_of off =
+  if off < 0 then invalid_arg "Page.index_of: negative offset";
+  off / size
+
+let count_for n = if n <= 0 then 1 else (n + size - 1) / size

@@ -1,0 +1,17 @@
+(** Pages: the unit of residency, coherence and locking granularity
+    underneath segments. *)
+
+val size : int
+(** 8192 bytes, as on the Sun-3. *)
+
+val zero : unit -> bytes
+(** A fresh zero-filled page. *)
+
+val copy : bytes -> bytes
+
+val index_of : int -> int
+(** Page index containing a byte offset. *)
+
+val count_for : int -> int
+(** Number of pages needed to hold [n] bytes (at least 1 for empty
+    segments). *)

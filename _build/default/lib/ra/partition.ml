@@ -1,0 +1,15 @@
+type mode = Read | Write
+
+type fetch_data = Zeroed | Data of bytes
+
+exception No_segment of Sysname.t
+
+type t = {
+  name : string;
+  fetch : seg:Sysname.t -> page:int -> mode:mode -> fetch_data;
+  writeback : seg:Sysname.t -> page:int -> bytes -> unit;
+}
+
+let pp_mode fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write -> Format.pp_print_string fmt "write"

@@ -1,0 +1,29 @@
+(** Partitions: Ra's interface to non-volatile segment storage.
+
+    Ra only defines the interface; implementations are system
+    objects.  The [store] library provides a local-disk partition for
+    data servers; the [dsm] library provides the DSM client partition
+    that compute servers use to demand-page segments over the network
+    with coherence. *)
+
+type mode = Read | Write
+
+type fetch_data =
+  | Zeroed  (** the page has never been written; zero-fill a frame *)
+  | Data of bytes  (** page contents *)
+
+exception No_segment of Sysname.t
+(** Raised by partition operations when the segment does not exist
+    (deleted or never created). *)
+
+type t = {
+  name : string;
+  fetch : seg:Sysname.t -> page:int -> mode:mode -> fetch_data;
+      (** Obtain a page in the given mode; blocks (disk or network).
+          Fetching in [Write] mode acquires ownership under the
+          coherence protocol. *)
+  writeback : seg:Sysname.t -> page:int -> bytes -> unit;
+      (** Push a dirty page back to stable storage. *)
+}
+
+val pp_mode : Format.formatter -> mode -> unit

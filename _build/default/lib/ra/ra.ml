@@ -1,0 +1,16 @@
+(** The Ra kernel model: the minimal native kernel Clouds runs on.
+
+    Ra provides segments (named in a flat sysname space), virtual
+    spaces, isibas (light-weight activity), partitions (the interface
+    to non-volatile storage) and per-node processor and memory
+    management with calibrated costs. *)
+
+module Params = Params
+module Sysname = Sysname
+module Page = Page
+module Virtual_space = Virtual_space
+module Cpu = Cpu
+module Partition = Partition
+module Mmu = Mmu
+module Node = Node
+module Isiba = Isiba

@@ -1,0 +1,1 @@
+lib/ratp/ratp.ml: Endpoint Ftp_sim Nfs_sim Packet

@@ -1,0 +1,1 @@
+lib/ratp/endpoint.ml: Array Fun Hashtbl Net Packet Printf Sim

@@ -1,0 +1,1 @@
+lib/ratp/endpoint.mli: Net Packet Sim

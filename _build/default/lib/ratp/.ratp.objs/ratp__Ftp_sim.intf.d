@@ -1,0 +1,1 @@
+lib/ratp/ftp_sim.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/ratp/nfs_sim.ml: Net Printf Sim

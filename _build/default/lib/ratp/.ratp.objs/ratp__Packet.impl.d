@@ -1,0 +1,1 @@
+lib/ratp/packet.ml: Format Net

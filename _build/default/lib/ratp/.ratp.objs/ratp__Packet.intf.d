@@ -1,0 +1,1 @@
+lib/ratp/packet.mli: Format Net

@@ -1,0 +1,276 @@
+type config = {
+  frag_payload : int;
+  retry_initial : Sim.Time.span;
+  retry_backoff : float;
+  max_attempts : int;
+  server_cache_ttl : Sim.Time.span;
+  proc_cost : Sim.Time.span;
+}
+
+let default_config =
+  {
+    frag_payload = 1400;
+    retry_initial = Sim.Time.ms 50;
+    retry_backoff = 2.0;
+    max_attempts = 8;
+    server_cache_ttl = Sim.Time.sec 5;
+    proc_cost = Sim.Time.us 590;
+  }
+
+type error = Timeout
+
+type handler = src:Net.Address.t -> Packet.body -> Packet.body * int
+
+type client_pending = {
+  complete : Packet.body Sim.Mailbox.t;
+  mutable reply_got : bool array;  (* sized on first reply fragment *)
+  mutable reply_missing : int;  (* -1 until sized *)
+  mutable busy : bool;  (* server said it is working; be patient *)
+}
+
+type server_state =
+  | Accumulating of { got : bool array; mutable missing : int }
+  | In_progress
+  | Done of { reply : Packet.body; reply_size : int }
+
+module Tid_table = Hashtbl.Make (struct
+  type t = Packet.tid
+
+  let equal (a : t) b = a.Packet.seq = b.Packet.seq && a.origin = b.origin
+  let hash (t : t) = Hashtbl.hash (t.origin, t.seq)
+end)
+
+type t = {
+  ether : Net.Ethernet.t;
+  nic : Net.Nic.t;
+  address : Net.Address.t;
+  group : int option;
+  cfg : config;
+  mutable next_seq : int;
+  clients : client_pending Tid_table.t;
+  servers : server_state Tid_table.t;
+  services : (int, handler) Hashtbl.t;
+  retrans : Sim.Stats.counter;
+  completed : Sim.Stats.counter;
+}
+
+let addr t = t.address
+let config t = t.cfg
+let retransmissions t = Sim.Stats.value t.retrans
+let transactions t = Sim.Stats.value t.completed
+
+let send_fragments t ~dst ~service ~tid ~kind ~total_size body =
+  let n = Packet.nfrags_of ~frag_payload:t.cfg.frag_payload total_size in
+  for i = 0 to n - 1 do
+    let frag_size =
+      Packet.frag_bytes ~frag_payload:t.cfg.frag_payload ~total_size i
+    in
+    let pkt =
+      { Packet.tid; service; kind; frag = i; nfrags = n; total_size; body }
+    in
+    let frame =
+      Net.Frame.make ~src:t.address ~dst:(Net.Frame.Unicast dst)
+        ~payload_bytes:(frag_size + Packet.header_bytes)
+        (Packet.Ratp pkt)
+    in
+    (* One tx process per fragment: host costs of consecutive
+       fragments overlap with wire time (DMA-style pipelining), while
+       the FIFO bus mutex keeps fragments ordered. *)
+    ignore
+      (Sim.spawn ?group:t.group "ratp-tx" (fun () ->
+           Net.Ethernet.transmit t.ether frame))
+  done
+
+let send_ack t ~dst ~tid ~service =
+  let pkt =
+    {
+      Packet.tid;
+      service;
+      kind = Packet.Ack;
+      frag = 0;
+      nfrags = 1;
+      total_size = 0;
+      body = Packet.Ping "ack";
+    }
+  in
+  let frame =
+    Net.Frame.make ~src:t.address ~dst:(Net.Frame.Unicast dst)
+      ~payload_bytes:Packet.header_bytes (Packet.Ratp pkt)
+  in
+  ignore
+    (Sim.spawn ?group:t.group "ratp-ack" (fun () ->
+         Net.Ethernet.transmit t.ether frame))
+
+(* --- server side ---------------------------------------------------- *)
+
+let schedule_cache_expiry t tid =
+  let eng = Net.Ethernet.engine t.ether in
+  Sim.Engine.at eng
+    (Sim.Time.add (Sim.Engine.now eng) t.cfg.server_cache_ttl)
+    (fun () ->
+      match Tid_table.find_opt t.servers tid with
+      | Some (Done _) -> Tid_table.remove t.servers tid
+      | Some (Accumulating _ | In_progress) | None -> ())
+
+let run_handler t ~(src : Net.Address.t) ~tid ~service body =
+  ignore
+    (Sim.spawn ?group:t.group "ratp-handler" (fun () ->
+         match Hashtbl.find_opt t.services service with
+         | None ->
+             (* unknown service: drop; the client will time out *)
+             Tid_table.remove t.servers tid
+         | Some handler ->
+             Sim.sleep t.cfg.proc_cost;
+             let reply, reply_size = handler ~src body in
+             Tid_table.replace t.servers tid (Done { reply; reply_size });
+             schedule_cache_expiry t tid;
+             Sim.sleep t.cfg.proc_cost;
+             send_fragments t ~dst:src ~service ~tid ~kind:Packet.Reply
+               ~total_size:reply_size reply))
+
+let handle_request t ~src (pkt : Packet.t) =
+  match Tid_table.find_opt t.servers pkt.tid with
+  | Some (Done { reply; reply_size }) ->
+      (* duplicate request: retransmit the cached reply once per
+         request burst (triggered by fragment 0) *)
+      if pkt.frag = 0 then
+        send_fragments t ~dst:src ~service:pkt.service ~tid:pkt.tid
+          ~kind:Packet.Reply ~total_size:reply_size reply
+  | Some In_progress ->
+      (* tell the retransmitting client the handler is still running
+         so it does not give up on a long operation *)
+      if pkt.frag = 0 then
+        send_fragments t ~dst:src ~service:pkt.service ~tid:pkt.tid
+          ~kind:Packet.Busy ~total_size:0 pkt.body
+  | Some (Accumulating acc) ->
+      if not acc.got.(pkt.frag) then begin
+        acc.got.(pkt.frag) <- true;
+        acc.missing <- acc.missing - 1;
+        if acc.missing = 0 then begin
+          Tid_table.replace t.servers pkt.tid In_progress;
+          run_handler t ~src ~tid:pkt.tid ~service:pkt.service pkt.body
+        end
+      end
+  | None ->
+      if pkt.nfrags = 1 then begin
+        Tid_table.replace t.servers pkt.tid In_progress;
+        run_handler t ~src ~tid:pkt.tid ~service:pkt.service pkt.body
+      end
+      else begin
+        let got = Array.make pkt.nfrags false in
+        got.(pkt.frag) <- true;
+        Tid_table.replace t.servers pkt.tid
+          (Accumulating { got; missing = pkt.nfrags - 1 })
+      end
+
+(* --- client side ---------------------------------------------------- *)
+
+let handle_reply t (pkt : Packet.t) =
+  match Tid_table.find_opt t.clients pkt.tid with
+  | None -> () (* transaction already completed or abandoned *)
+  | Some pc ->
+      if pc.reply_missing = -1 then begin
+        pc.reply_got <- Array.make pkt.nfrags false;
+        pc.reply_missing <- pkt.nfrags
+      end;
+      if not pc.reply_got.(pkt.frag) then begin
+        pc.reply_got.(pkt.frag) <- true;
+        pc.reply_missing <- pc.reply_missing - 1;
+        if pc.reply_missing = 0 then Sim.Mailbox.send pc.complete pkt.body
+      end
+
+let handle_packet t ~src (pkt : Packet.t) =
+  match pkt.kind with
+  | Packet.Request -> handle_request t ~src pkt
+  | Packet.Reply -> handle_reply t pkt
+  | Packet.Ack -> Tid_table.remove t.servers pkt.tid
+  | Packet.Busy -> (
+      match Tid_table.find_opt t.clients pkt.tid with
+      | Some pc -> pc.busy <- true
+      | None -> ())
+
+let rec rx_loop t =
+  let frame = Net.Nic.recv t.nic in
+  (match frame.Net.Frame.payload with
+  | Packet.Ratp pkt -> handle_packet t ~src:frame.Net.Frame.src pkt
+  | _ -> ());
+  rx_loop t
+
+let create ether ~addr ?group ?(config = default_config) () =
+  let nic = Net.Ethernet.attach ether addr in
+  let t =
+    {
+      ether;
+      nic;
+      address = addr;
+      group;
+      cfg = config;
+      next_seq = 0;
+      clients = Tid_table.create 16;
+      servers = Tid_table.create 16;
+      services = Hashtbl.create 8;
+      retrans = Sim.Stats.counter "ratp.retrans";
+      completed = Sim.Stats.counter "ratp.transactions";
+    }
+  in
+  let eng = Net.Ethernet.engine ether in
+  ignore
+    (Sim.Engine.spawn eng ?group
+       (Printf.sprintf "ratp-rx-%d" addr)
+       (fun () -> rx_loop t));
+  t
+
+let serve t ~service handler = Hashtbl.replace t.services service handler
+
+let restart t =
+  Tid_table.reset t.clients;
+  Tid_table.reset t.servers;
+  let eng = Net.Ethernet.engine t.ether in
+  ignore
+    (Sim.Engine.spawn eng ?group:t.group
+       (Printf.sprintf "ratp-rx-%d" t.address)
+       (fun () -> rx_loop t))
+
+let call t ~dst ~service ~size body =
+  Sim.sleep t.cfg.proc_cost;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let tid = { Packet.origin = t.address; seq } in
+  let pc =
+    {
+      complete = Sim.Mailbox.create "ratp-reply";
+      reply_got = [||];
+      reply_missing = -1;
+      busy = false;
+    }
+  in
+  Tid_table.replace t.clients tid pc;
+  Fun.protect
+    ~finally:(fun () -> Tid_table.remove t.clients tid)
+    (fun () ->
+      let rec attempt n interval =
+        if n > t.cfg.max_attempts then Error Timeout
+        else begin
+          if n > 1 then Sim.Stats.incr t.retrans;
+          send_fragments t ~dst ~service ~tid ~kind:Packet.Request
+            ~total_size:size body;
+          match Sim.Mailbox.recv_timeout pc.complete interval with
+          | Some reply ->
+              Sim.sleep t.cfg.proc_cost;
+              send_ack t ~dst ~tid ~service;
+              Sim.Stats.incr t.completed;
+              Ok reply
+          | None ->
+              if pc.busy then begin
+                (* the server is working on it: keep waiting without
+                   burning attempts (deadlock breaking is the
+                   caller's job, e.g. abort-after-timeout) *)
+                pc.busy <- false;
+                attempt n interval
+              end
+              else
+                attempt (n + 1)
+                  (int_of_float (float_of_int interval *. t.cfg.retry_backoff))
+        end
+      in
+      attempt 1 t.cfg.retry_initial)

@@ -1,0 +1,11 @@
+(** The Ra Transport Protocol and its evaluation comparators.
+
+    RaTP ({!Endpoint}) provides reliable, connectionless message
+    transactions over the simulated Ethernet, modeled on VMTP as in
+    the paper.  {!Ftp_sim} and {!Nfs_sim} reproduce the structure of
+    the Unix FTP and Sun NFS transfers the paper compares against. *)
+
+module Packet = Packet
+module Endpoint = Endpoint
+module Ftp_sim = Ftp_sim
+module Nfs_sim = Nfs_sim

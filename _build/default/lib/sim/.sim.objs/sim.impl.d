@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Condition Engine Heap Ivar Mailbox Mutex Rng Rwlock Semaphore Stats Time Trace

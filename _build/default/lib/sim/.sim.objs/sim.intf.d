@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Condition Engine Heap Ivar Mailbox Mutex Rng Rwlock Semaphore Stats Time Trace

@@ -1,0 +1,1 @@
+lib/sim/rwlock.ml: Engine Queue

@@ -1,0 +1,19 @@
+type t = { label : string; waiters : (unit -> bool) Queue.t }
+
+let create ?(label = "cond") () = { label; waiters = Queue.create () }
+
+let wait t mutex =
+  Engine.Process.suspend t.label (fun wake ->
+      Mutex.unlock mutex;
+      Queue.add wake t.waiters);
+  Mutex.lock mutex
+
+let rec signal t =
+  match Queue.take_opt t.waiters with
+  | Some wake -> if not (wake ()) then signal t
+  | None -> ()
+
+let broadcast t =
+  let wakes = Queue.fold (fun acc w -> w :: acc) [] t.waiters in
+  Queue.clear t.waiters;
+  List.iter (fun wake -> ignore (wake ())) (List.rev wakes)

@@ -1,0 +1,15 @@
+(** Condition variables paired with {!Mutex}. *)
+
+type t
+
+val create : ?label:string -> unit -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically release the mutex and suspend; reacquire before
+    returning. *)
+
+val signal : t -> unit
+(** Wake one waiter, if any. *)
+
+val broadcast : t -> unit
+(** Wake every waiter. *)

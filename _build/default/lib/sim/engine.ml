@@ -1,0 +1,239 @@
+type pid = int
+
+exception Killed
+
+type proc = {
+  pid : int;
+  name : string;
+  group : int option;
+  mutable alive : bool;
+  mutable cancel : (unit -> unit) option;
+  mutable on_term : (unit -> unit) list;
+}
+
+type event = {
+  time : Time.t;
+  order : int;
+  mutable live : bool;
+  thunk : unit -> unit;
+}
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  events : event Heap.t;
+  procs : (int, proc) Hashtbl.t;
+  mutable next_pid : int;
+  root_rng : Rng.t;
+}
+
+type _ Effect.t +=
+  | E_engine : t Effect.t
+  | E_self : pid Effect.t
+  | E_sleep : Time.span -> unit Effect.t
+  | E_suspend : string * (('a -> bool) -> unit) -> 'a Effect.t
+  | E_spawn : string * int option * (unit -> unit) -> pid Effect.t
+
+let cmp_event a b =
+  match Time.compare a.time b.time with
+  | 0 -> Int.compare a.order b.order
+  | c -> c
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    events = Heap.create ~cmp:cmp_event;
+    procs = Hashtbl.create 64;
+    next_pid = 1;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let pending t = Heap.length t.events
+
+(* Cancelled events stay in the heap but are skipped without
+   advancing the clock, so a killed sleeper does not drag the
+   simulation clock to its original wake-up time. *)
+let schedule_cancellable t time thunk =
+  t.seq <- t.seq + 1;
+  let time = max time t.clock in
+  let ev = { time; order = t.seq; live = true; thunk } in
+  Heap.push t.events ev;
+  ev
+
+let schedule_at t time thunk = ignore (schedule_cancellable t time thunk)
+let schedule t thunk = schedule_at t t.clock thunk
+let at = schedule_at
+
+let rec drop_dead t =
+  match Heap.peek t.events with
+  | Some ev when not ev.live ->
+      ignore (Heap.pop t.events);
+      drop_dead t
+  | Some _ | None -> ()
+
+let finish t proc =
+  Hashtbl.remove t.procs proc.pid;
+  let callbacks = proc.on_term in
+  proc.on_term <- [];
+  List.iter (fun f -> f ()) (List.rev callbacks)
+
+(* Each process runs under its own deep handler.  Wakers and timers
+   always resume continuations from engine context (either directly
+   inside an event thunk, or by scheduling a fresh event), never from
+   inside another process, so at most one process executes at a
+   time. *)
+let rec run_proc : t -> proc -> (unit -> unit) -> unit =
+ fun t proc f ->
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> finish t proc);
+      exnc =
+        (fun e ->
+          finish t proc;
+          match e with
+          | Killed -> ()
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_engine ->
+              Some (fun (k : (a, _) continuation) -> continue k t)
+          | E_self -> Some (fun (k : (a, _) continuation) -> continue k proc.pid)
+          | E_spawn (name, group, body) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let group =
+                    match group with Some _ as g -> g | None -> proc.group
+                  in
+                  let pid = spawn t ?group name body in
+                  continue k pid)
+          | E_sleep span ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if not proc.alive then discontinue k Killed
+                  else begin
+                    let state = ref `Waiting in
+                    let timer = ref None in
+                    proc.cancel <-
+                      Some
+                        (fun () ->
+                          if !state = `Waiting then begin
+                            state := `Cancelled;
+                            (match !timer with
+                            | Some ev -> ev.live <- false
+                            | None -> ());
+                            schedule t (fun () -> discontinue k Killed)
+                          end);
+                    timer :=
+                      Some
+                        (schedule_cancellable t (Time.add t.clock span)
+                           (fun () ->
+                             if !state = `Waiting then begin
+                               state := `Fired;
+                               proc.cancel <- None;
+                               continue k ()
+                             end))
+                  end)
+          | E_suspend (_label, register) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if not proc.alive then discontinue k Killed
+                  else begin
+                    let state = ref `Waiting in
+                    proc.cancel <-
+                      Some
+                        (fun () ->
+                          if !state = `Waiting then begin
+                            state := `Cancelled;
+                            schedule t (fun () -> discontinue k Killed)
+                          end);
+                    let wake v =
+                      if !state = `Waiting && proc.alive then begin
+                        state := `Woken;
+                        proc.cancel <- None;
+                        schedule t (fun () -> continue k v);
+                        true
+                      end
+                      else false
+                    in
+                    register wake
+                  end)
+          | _ -> None);
+    }
+
+and spawn : t -> ?group:int -> string -> (unit -> unit) -> pid =
+ fun t ?group name f ->
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let proc = { pid; name; group; alive = true; cancel = None; on_term = [] } in
+  Hashtbl.replace t.procs pid proc;
+  schedule t (fun () -> if proc.alive then run_proc t proc f else finish t proc);
+  pid
+
+let kill t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> ()
+  | Some proc ->
+      if proc.alive then begin
+        proc.alive <- false;
+        match proc.cancel with
+        | Some c ->
+            proc.cancel <- None;
+            c ()
+        | None -> ()
+      end
+
+let kill_group t group =
+  let victims =
+    Hashtbl.fold
+      (fun pid proc acc -> if proc.group = Some group then pid :: acc else acc)
+      t.procs []
+  in
+  List.iter (kill t) (List.sort Int.compare victims)
+
+let on_terminate t pid f =
+  match Hashtbl.find_opt t.procs pid with
+  | Some proc -> proc.on_term <- f :: proc.on_term
+  | None -> f ()
+
+let alive t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> false
+  | Some proc -> proc.alive
+
+let step t =
+  drop_dead t;
+  match Heap.pop t.events with
+  | None -> false
+  | Some ev ->
+      t.clock <- max t.clock ev.time;
+      ev.thunk ();
+      true
+
+let run ?until t =
+  let running = ref true in
+  while !running do
+    drop_dead t;
+    match Heap.peek t.events with
+    | None -> running := false
+    | Some ev -> (
+        match until with
+        | Some u when Time.compare ev.time u > 0 ->
+            t.clock <- u;
+            running := false
+        | Some _ | None -> ignore (step t))
+  done
+
+module Process = struct
+  let engine () = Effect.perform E_engine
+  let now () = now (engine ())
+  let self () = Effect.perform E_self
+  let sleep span = Effect.perform (E_sleep span)
+  let yield () = sleep 0
+  let suspend label register = Effect.perform (E_suspend (label, register))
+  let spawn ?group name f = Effect.perform (E_spawn (name, group, f))
+end

@@ -1,0 +1,27 @@
+(** A polymorphic binary min-heap on a growable array.
+
+    Used by the event queue; generic so that tests can exercise it on
+    arbitrary ordered elements. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns a minimal element, or [None] if the
+    heap is empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] returns a minimal element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)

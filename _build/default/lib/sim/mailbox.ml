@@ -1,0 +1,51 @@
+(* Waiters are callbacks returning true when they consumed the value;
+   a waiter whose timeout already fired returns false and is
+   discarded, letting the value go to the next waiter or back to the
+   queue. *)
+
+type 'a t = {
+  label : string;
+  values : 'a Queue.t;
+  waiters : ('a -> bool) Queue.t;
+}
+
+let create label = { label; values = Queue.create (); waiters = Queue.create () }
+
+let rec offer t v =
+  match Queue.take_opt t.waiters with
+  | None -> Queue.add v t.values
+  | Some waiter -> if not (waiter v) then offer t v
+
+let send t v = offer t v
+
+let recv t =
+  match Queue.take_opt t.values with
+  | Some v -> v
+  | None ->
+      Engine.Process.suspend t.label (fun wake ->
+          Queue.add (fun v -> wake v) t.waiters)
+
+let recv_timeout t span =
+  match Queue.take_opt t.values with
+  | Some v -> Some v
+  | None ->
+      let eng = Engine.Process.engine () in
+      let deadline = Time.add (Engine.now eng) span in
+      Engine.Process.suspend t.label (fun wake ->
+          let state = ref `Waiting in
+          Queue.add
+            (fun v ->
+              if !state = `Waiting && wake (Some v) then begin
+                state := `Got;
+                true
+              end
+              else false)
+            t.waiters;
+          Engine.at eng deadline (fun () ->
+              if !state = `Waiting then begin
+                state := `Timeout;
+                ignore (wake None)
+              end))
+
+let try_recv t = Queue.take_opt t.values
+let length t = Queue.length t.values

@@ -1,0 +1,70 @@
+type request = Read of (unit -> bool) | Write of (unit -> bool)
+
+type t = {
+  label : string;
+  mutable readers : int;
+  mutable writer : bool;
+  queue : request Queue.t;
+}
+
+let create ?(label = "rwlock") () =
+  { label; readers = 0; writer = false; queue = Queue.create () }
+
+(* Grant queued requests in FIFO order: a run of readers at the head
+   is granted together; a writer is granted only when alone. *)
+let rec drain t =
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some (Read wake) ->
+      if not t.writer then begin
+        ignore (Queue.pop t.queue);
+        if wake () then t.readers <- t.readers + 1;
+        drain t
+      end
+  | Some (Write wake) ->
+      if (not t.writer) && t.readers = 0 then begin
+        ignore (Queue.pop t.queue);
+        if wake () then t.writer <- true else drain t
+      end
+
+let lock_read t =
+  if (not t.writer) && Queue.is_empty t.queue then t.readers <- t.readers + 1
+  else
+    Engine.Process.suspend t.label (fun wake ->
+        Queue.add (Read wake) t.queue)
+
+let lock_write t =
+  if (not t.writer) && t.readers = 0 && Queue.is_empty t.queue then
+    t.writer <- true
+  else
+    Engine.Process.suspend t.label (fun wake ->
+        Queue.add (Write wake) t.queue)
+
+let try_lock_read t =
+  if (not t.writer) && Queue.is_empty t.queue then begin
+    t.readers <- t.readers + 1;
+    true
+  end
+  else false
+
+let try_lock_write t =
+  if (not t.writer) && t.readers = 0 && Queue.is_empty t.queue then begin
+    t.writer <- true;
+    true
+  end
+  else false
+
+let unlock_read t =
+  if t.readers <= 0 then invalid_arg "Rwlock.unlock_read: no readers";
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then drain t
+
+let unlock_write t =
+  if not t.writer then invalid_arg "Rwlock.unlock_write: no writer";
+  t.writer <- false;
+  drain t
+
+let holders t =
+  if t.writer then `Writer
+  else if t.readers > 0 then `Readers t.readers
+  else `Free

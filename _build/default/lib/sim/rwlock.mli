@@ -1,0 +1,26 @@
+(** Reader–writer locks with FIFO fairness.
+
+    Requests are granted strictly in arrival order: a waiting writer
+    blocks later readers, so neither side starves.  This is the local
+    building block for the segment-level locking of
+    consistency-preserving threads. *)
+
+type t
+
+val create : ?label:string -> unit -> t
+
+val lock_read : t -> unit
+(** Acquire shared; suspends while a writer holds the lock or an
+    earlier writer is queued. *)
+
+val lock_write : t -> unit
+(** Acquire exclusive; suspends while any holder exists. *)
+
+val try_lock_read : t -> bool
+val try_lock_write : t -> bool
+
+val unlock_read : t -> unit
+val unlock_write : t -> unit
+
+val holders : t -> [ `Free | `Readers of int | `Writer ]
+(** Current holder set, for tests and introspection. *)

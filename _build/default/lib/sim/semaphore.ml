@@ -1,0 +1,28 @@
+type t = {
+  label : string;
+  mutable count : int;
+  waiters : (unit -> bool) Queue.t;
+}
+
+let create ?(label = "sem") n =
+  if n < 0 then invalid_arg "Semaphore.create: negative count";
+  { label; count = n; waiters = Queue.create () }
+
+let acquire t =
+  if t.count > 0 then t.count <- t.count - 1
+  else
+    Engine.Process.suspend t.label (fun wake -> Queue.add wake t.waiters)
+
+let try_acquire t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let rec release t =
+  match Queue.take_opt t.waiters with
+  | Some wake -> if not (wake ()) then release t
+  | None -> t.count <- t.count + 1
+
+let count t = t.count

@@ -1,0 +1,24 @@
+(** Counting semaphores with FIFO wakeup.
+
+    These are also the user-visible synchronization primitive the
+    Clouds layer offers to object programmers (the paper's
+    "system supported synchronization primitives such as locks or
+    semaphores"). *)
+
+type t
+
+val create : ?label:string -> int -> t
+(** [create n] is a semaphore with initial count [n >= 0]. *)
+
+val acquire : t -> unit
+(** Decrement the count, suspending while it is zero.  Waiters are
+    served in FIFO order. *)
+
+val try_acquire : t -> bool
+(** Decrement without suspending; false if the count was zero. *)
+
+val release : t -> unit
+(** Increment the count, waking the longest-waiting acquirer. *)
+
+val count : t -> int
+(** Current count (waiting processes imply zero). *)

@@ -1,0 +1,49 @@
+type series = { s_name : string; mutable samples : float list; mutable count : int }
+
+let series s_name = { s_name; samples = []; count = 0 }
+
+let add s x =
+  s.samples <- x :: s.samples;
+  s.count <- s.count + 1
+
+let add_span s span = add s (Time.to_ms_f span)
+
+let n s = s.count
+
+let fold f init s = List.fold_left f init s.samples
+
+let total s = fold ( +. ) 0.0 s
+
+let mean s = if s.count = 0 then 0.0 else total s /. float_of_int s.count
+
+let min_v s = fold Float.min Float.infinity s
+let max_v s = fold Float.max Float.neg_infinity s
+
+let percentile s p =
+  if s.count = 0 then invalid_arg "Stats.percentile: empty series";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: bad percentile";
+  let sorted = List.sort Float.compare s.samples in
+  let arr = Array.of_list sorted in
+  let idx = p /. 100.0 *. float_of_int (s.count - 1) in
+  let lo = int_of_float idx in
+  let hi = min (lo + 1) (s.count - 1) in
+  let frac = idx -. float_of_int lo in
+  arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let stddev s =
+  if s.count < 2 then 0.0
+  else begin
+    let m = mean s in
+    let sq = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 s in
+    sqrt (sq /. float_of_int (s.count - 1))
+  end
+
+let name s = s.s_name
+
+type counter = { c_name : string; mutable v : int }
+
+let counter c_name = { c_name; v = 0 }
+let incr c = c.v <- c.v + 1
+let incr_by c k = c.v <- c.v + k
+let value c = c.v
+let counter_name c = c.c_name

@@ -1,0 +1,38 @@
+(** Measurement collection for experiments.
+
+    A [series] accumulates scalar samples (typically durations in
+    milliseconds) and reports summary statistics.  A [counter] counts
+    discrete events (page faults, messages, retransmissions). *)
+
+type series
+
+val series : string -> series
+(** A fresh, empty series with a display name. *)
+
+val add : series -> float -> unit
+(** Record one sample. *)
+
+val add_span : series -> Time.span -> unit
+(** Record a duration sample, converted to milliseconds. *)
+
+val n : series -> int
+val mean : series -> float
+val min_v : series -> float
+val max_v : series -> float
+val total : series -> float
+
+val percentile : series -> float -> float
+(** [percentile s p] with [p] in [0,100]; linear interpolation on the
+    sorted samples.  Raises [Invalid_argument] on an empty series. *)
+
+val stddev : series -> float
+
+val name : series -> string
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val incr_by : counter -> int -> unit
+val value : counter -> int
+val counter_name : counter -> string

@@ -1,0 +1,28 @@
+type entry = { at : Time.t; tag : string; detail : string }
+
+type t = { mutable on : bool; mutable rev_entries : entry list }
+
+let create ?(enabled = true) () = { on = enabled; rev_entries = [] }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let record t at tag detail =
+  if t.on then t.rev_entries <- { at; tag; detail } :: t.rev_entries
+
+let entries t = List.rev t.rev_entries
+
+let count t ?tag () =
+  match tag with
+  | None -> List.length t.rev_entries
+  | Some tag ->
+      List.fold_left
+        (fun acc e -> if String.equal e.tag tag then acc + 1 else acc)
+        0 t.rev_entries
+
+let clear t = t.rev_entries <- []
+
+let pp fmt t =
+  List.iter
+    (fun e -> Format.fprintf fmt "%a %-12s %s@." Time.pp e.at e.tag e.detail)
+    (entries t)

@@ -1,0 +1,28 @@
+(** Lightweight event tracing.
+
+    A trace is an append-only list of timestamped tagged records,
+    attached to an engine by the caller.  Disabled traces cost one
+    branch per event.  Tests assert on trace contents; benches leave
+    tracing off. *)
+
+type t
+
+type entry = { at : Time.t; tag : string; detail : string }
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> Time.t -> string -> string -> unit
+(** [record t time tag detail] appends an entry when enabled. *)
+
+val entries : t -> entry list
+(** Entries in chronological (append) order. *)
+
+val count : t -> ?tag:string -> unit -> int
+(** Number of entries, optionally restricted to one tag. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/store/store.ml: Directory Disk Segment_store Wal

@@ -1,0 +1,1 @@
+lib/store/directory.ml: List Net Ra String

@@ -1,0 +1,1 @@
+lib/store/directory.mli: Net Ra

@@ -1,0 +1,1 @@
+lib/store/segment_store.mli: Ra

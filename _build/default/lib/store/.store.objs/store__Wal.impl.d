@@ -1,0 +1,1 @@
+lib/store/wal.ml: Bytes Disk Hashtbl List Ra Segment_store

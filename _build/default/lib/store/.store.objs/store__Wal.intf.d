@@ -1,0 +1,1 @@
+lib/store/wal.mli: Disk Ra Segment_store

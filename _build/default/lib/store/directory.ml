@@ -1,0 +1,22 @@
+type entry = { role : string; seg : Ra.Sysname.t; size : int }
+
+type descriptor = {
+  class_name : string;
+  home : Net.Address.t;
+  entries : entry list;
+}
+
+type t = { table : descriptor Ra.Sysname.Table.t }
+
+let create () = { table = Ra.Sysname.Table.create 32 }
+
+let register t name d = Ra.Sysname.Table.replace t.table name d
+let remove t name = Ra.Sysname.Table.remove t.table name
+let lookup t name = Ra.Sysname.Table.find_opt t.table name
+
+let objects t =
+  Ra.Sysname.Table.fold (fun k _ acc -> k :: acc) t.table []
+  |> List.sort Ra.Sysname.compare
+
+let descriptor_bytes d =
+  64 + String.length d.class_name + (List.length d.entries * 32)

@@ -1,0 +1,31 @@
+(** The object directory on a data server.
+
+    Maps an object's sysname to its descriptor: which class it
+    instantiates, which segments make up its address space and where
+    it lives.  Descriptors are stable (they survive crashes); the
+    object manager fetches them when activating an object on a
+    compute server. *)
+
+type entry = {
+  role : string;  (** "code", "data", "pheap", ... *)
+  seg : Ra.Sysname.t;
+  size : int;  (** bytes *)
+}
+
+type descriptor = {
+  class_name : string;
+  home : Net.Address.t;  (** data server storing the segments *)
+  entries : entry list;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> Ra.Sysname.t -> descriptor -> unit
+val remove : t -> Ra.Sysname.t -> unit
+val lookup : t -> Ra.Sysname.t -> descriptor option
+val objects : t -> Ra.Sysname.t list
+
+val descriptor_bytes : descriptor -> int
+(** Approximate wire size of a descriptor, for transfer timing. *)

@@ -1,0 +1,28 @@
+type config = { seek : Sim.Time.span; transfer_per_8k : Sim.Time.span }
+
+let default_config =
+  { seek = Sim.Time.of_ms_f 12.0; transfer_per_8k = Sim.Time.of_ms_f 2.5 }
+
+type t = {
+  label : string;
+  cfg : config;
+  lock : Sim.Mutex.t;
+  mutable ops : int;
+}
+
+let create ?(config = default_config) label =
+  { label; cfg = config; lock = Sim.Mutex.create ~label (); ops = 0 }
+
+let io t ~bytes =
+  Sim.Mutex.with_lock t.lock (fun () ->
+      t.ops <- t.ops + 1;
+      let transfer =
+        int_of_float
+          (float_of_int t.cfg.transfer_per_8k
+          *. (float_of_int (max bytes 512) /. 8192.0))
+      in
+      Sim.sleep (t.cfg.seek + transfer))
+
+let write = io
+let read = io
+let ops t = t.ops

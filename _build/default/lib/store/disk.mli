@@ -1,0 +1,29 @@
+(** A simulated disk.
+
+    Requests serialize on the device; each costs a seek plus a
+    size-proportional transfer.  Page reads on data servers are
+    normally served from the in-memory segment store (the prototype
+    kept objects in Unix files, hot in the buffer cache); the disk is
+    what makes write-ahead logging and commits cost something. *)
+
+type config = {
+  seek : Sim.Time.span;
+  transfer_per_8k : Sim.Time.span;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> string -> t
+(** [create label] is an idle disk. *)
+
+val write : t -> bytes:int -> unit
+(** Synchronous write of [bytes]; blocks through queueing, seek and
+    transfer. *)
+
+val read : t -> bytes:int -> unit
+(** Synchronous read timing (contents are tracked by the caller). *)
+
+val ops : t -> int
+(** Total operations performed. *)

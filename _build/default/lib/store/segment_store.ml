@@ -1,0 +1,52 @@
+type t = {
+  label : string;
+  pages : (Ra.Sysname.t * int, bytes) Hashtbl.t;
+  sizes : int Ra.Sysname.Table.t;
+}
+
+let create label =
+  { label; pages = Hashtbl.create 256; sizes = Ra.Sysname.Table.create 32 }
+
+let create_segment t seg ~size =
+  if Ra.Sysname.Table.mem t.sizes seg then
+    invalid_arg "Segment_store.create_segment: exists";
+  if size < 0 then invalid_arg "Segment_store.create_segment: negative size";
+  Ra.Sysname.Table.replace t.sizes seg size
+
+let delete_segment t seg =
+  Ra.Sysname.Table.remove t.sizes seg;
+  let keys =
+    Hashtbl.fold
+      (fun (s, p) _ acc ->
+        if Ra.Sysname.equal s seg then (s, p) :: acc else acc)
+      t.pages []
+  in
+  List.iter (Hashtbl.remove t.pages) keys
+
+let exists t seg = Ra.Sysname.Table.mem t.sizes seg
+
+let size t seg =
+  match Ra.Sysname.Table.find_opt t.sizes seg with
+  | Some s -> s
+  | None -> raise (Ra.Partition.No_segment seg)
+
+let read_page t seg page =
+  if not (exists t seg) then raise (Ra.Partition.No_segment seg);
+  match Hashtbl.find_opt t.pages (seg, page) with
+  | Some data -> Ra.Partition.Data (Ra.Page.copy data)
+  | None -> Ra.Partition.Zeroed
+
+let write_page t seg page data =
+  if not (exists t seg) then raise (Ra.Partition.No_segment seg);
+  Hashtbl.replace t.pages (seg, page) (Ra.Page.copy data)
+
+let segments t =
+  Ra.Sysname.Table.fold (fun seg _ acc -> seg :: acc) t.sizes []
+  |> List.sort Ra.Sysname.compare
+
+let local_partition t =
+  {
+    Ra.Partition.name = t.label ^ "-local";
+    fetch = (fun ~seg ~page ~mode:_ -> read_page t seg page);
+    writeback = (fun ~seg ~page data -> write_page t seg page data);
+  }

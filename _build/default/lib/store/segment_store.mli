@@ -1,0 +1,34 @@
+(** Stable page storage for segments on a data server.
+
+    Contents survive node crashes (they model disk-backed Unix files
+    kept hot in the buffer cache).  Pages that were never written
+    read back as {!Ra.Partition.Zeroed}, which is what makes the
+    zero-fill fault path observable end to end. *)
+
+type t
+
+val create : string -> t
+
+val create_segment : t -> Ra.Sysname.t -> size:int -> unit
+(** Declare a segment of [size] bytes.  Raises [Invalid_argument] if
+    it already exists. *)
+
+val delete_segment : t -> Ra.Sysname.t -> unit
+
+val exists : t -> Ra.Sysname.t -> bool
+
+val size : t -> Ra.Sysname.t -> int
+(** Raises {!Ra.Partition.No_segment} if absent. *)
+
+val read_page : t -> Ra.Sysname.t -> int -> Ra.Partition.fetch_data
+(** Raises {!Ra.Partition.No_segment} if the segment is absent. *)
+
+val write_page : t -> Ra.Sysname.t -> int -> bytes -> unit
+
+val segments : t -> Ra.Sysname.t list
+
+val local_partition : t -> Ra.Partition.t
+(** A partition serving this store directly (same-machine access on a
+    data server): no network, no disk — the calibrated fault costs in
+    the MMU are the whole story, matching the paper's local fault
+    measurements. *)

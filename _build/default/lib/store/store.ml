@@ -1,0 +1,8 @@
+(** Stable storage on data servers: a simulated disk, the page-level
+    segment store, the write-ahead log used by two-phase commit, and
+    the object directory. *)
+
+module Disk = Disk
+module Segment_store = Segment_store
+module Wal = Wal
+module Directory = Directory

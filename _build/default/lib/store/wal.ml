@@ -1,0 +1,65 @@
+type record =
+  | Prepared of { txn : int * int; writes : (Ra.Sysname.t * int * bytes) list }
+  | Committed of (int * int)
+  | Aborted of (int * int)
+
+type t = { disk : Disk.t; mutable log : record list (* reverse order *) }
+
+let create disk = { disk; log = [] }
+
+let record_bytes = function
+  | Prepared { writes; _ } ->
+      64 + List.fold_left (fun acc (_, _, b) -> acc + Bytes.length b) 0 writes
+  | Committed _ | Aborted _ -> 64
+
+let append t r =
+  Disk.write t.disk ~bytes:(record_bytes r);
+  t.log <- r :: t.log
+
+let append_nowait t r = t.log <- r :: t.log
+
+let records t = List.rev t.log
+
+let recover t store ~decide ~applied =
+  let committed = Hashtbl.create 8 in
+  let aborted = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r with
+      | Committed txn -> Hashtbl.replace committed txn ()
+      | Aborted txn -> Hashtbl.replace aborted txn ()
+      | Prepared _ -> ())
+    t.log;
+  (* settle undecided prepares first: ask the coordinator (decide);
+     unreachable coordinators mean presumed abort *)
+  List.iter
+    (fun r ->
+      match r with
+      | Prepared { txn; _ }
+        when (not (Hashtbl.mem committed txn)) && not (Hashtbl.mem aborted txn)
+        -> (
+          match decide txn with
+          | `Commit ->
+              Hashtbl.replace committed txn ();
+              t.log <- Committed txn :: t.log
+          | `Abort ->
+              Hashtbl.replace aborted txn ();
+              t.log <- Aborted txn :: t.log
+          | `Keep -> ())
+      | Prepared _ | Committed _ | Aborted _ -> ())
+    (records t);
+  (* apply committed prepares in append order *)
+  List.iter
+    (fun r ->
+      match r with
+      | Prepared { txn; writes } when Hashtbl.mem committed txn ->
+          List.iter
+            (fun (seg, page, data) ->
+              if Segment_store.exists store seg then
+                Segment_store.write_page store seg page data)
+            writes;
+          applied := txn :: !applied
+      | Prepared _ | Committed _ | Aborted _ -> ())
+    (records t)
+
+let truncate t = t.log <- []

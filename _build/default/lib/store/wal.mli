@@ -1,0 +1,48 @@
+(** Write-ahead log for two-phase commit on data servers.
+
+    Participants log [Prepared] with the transaction's page images
+    before voting yes; [Committed]/[Aborted] seal the outcome.  The
+    log survives crashes; {!recover} replays it into the segment
+    store under presumed-abort semantics: committed transactions are
+    (re)applied, prepared-but-undecided transactions are discarded. *)
+
+type record =
+  | Prepared of {
+      txn : int * int;  (** (coordinator node, sequence) *)
+      writes : (Ra.Sysname.t * int * bytes) list;  (** (segment, page, data) *)
+    }
+  | Committed of (int * int)
+  | Aborted of (int * int)
+
+type t
+
+val create : Disk.t -> t
+
+val append : t -> record -> unit
+(** Durably append (charges disk time proportional to the record's
+    payload). *)
+
+val append_nowait : t -> record -> unit
+(** Append without charging disk time — for engine-context callers
+    (timer-driven resolution); the record is still durable. *)
+
+val records : t -> record list
+(** Log contents in append order (tests, recovery). *)
+
+val recover :
+  t ->
+  Segment_store.t ->
+  decide:((int * int) -> [ `Commit | `Abort | `Keep ]) ->
+  applied:(int * int) list ref ->
+  unit
+(** Replay into the store: every [Prepared] whose txn has a matching
+    [Committed] is applied.  A prepared transaction with no recorded
+    outcome is decided by [decide] — the recovering participant asks
+    the transaction's coordinator: [`Commit]/[`Abort] are logged and
+    acted on; [`Keep] leaves the transaction in doubt (coordinator
+    alive but still undecided — the participant must hold its promise
+    to commit).  [applied] reports every txn whose writes reached the
+    store. *)
+
+val truncate : t -> unit
+(** Discard the log (checkpoint). *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Atomicity Char Clouds Cluster Ctx Ivar List Memory Obj_class Object_manager Printexc Printf Ra Sim String Thread Time Value

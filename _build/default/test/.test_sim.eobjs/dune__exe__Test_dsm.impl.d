@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Bytes Char Dsm Engine Gen List Net Printf QCheck QCheck_alcotest Ra Ratp Semaphore Sim Store String Time

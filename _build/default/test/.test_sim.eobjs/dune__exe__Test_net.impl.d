@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Ethernet Fault Frame List Net Nic QCheck QCheck_alcotest Sim Time

@@ -1,0 +1,1 @@
+test/test_pet.ml: Alcotest Array Atomicity Clouds Cluster Ctx Int List Memory Obj_class Object_manager Pet Printf Ra Ratp Sim Time Value

@@ -1,0 +1,1 @@
+test/test_ra.ml: Alcotest Bytes Cpu Hashtbl Isiba List Mmu Net Node Page Params Partition Printf QCheck QCheck_alcotest Ra Semaphore Sim Sysname Time Virtual_space

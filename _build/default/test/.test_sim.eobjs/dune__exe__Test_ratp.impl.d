@@ -1,0 +1,1 @@
+test/test_ratp.ml: Alcotest Endpoint Engine Ftp_sim List Net Nfs_sim Packet Printf QCheck QCheck_alcotest Ratp Semaphore Sim String Time

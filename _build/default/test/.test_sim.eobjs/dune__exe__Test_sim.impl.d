@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condition Engine Gen Heap Int Ivar List Mailbox Mutex Printf QCheck QCheck_alcotest Rng Rwlock Semaphore Sim Stats Time Trace

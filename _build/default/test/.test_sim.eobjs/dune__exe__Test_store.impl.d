@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes List Ra Semaphore Sim Store Time

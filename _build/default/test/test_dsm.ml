@@ -1,0 +1,535 @@
+(* Tests for distributed shared memory: coherence (one-copy
+   semantics), the segment lock service, and two-phase commit. *)
+
+open Sim
+module P = Dsm.Protocol
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Fast RaTP config so crash-timeout tests finish quickly. *)
+let fast_ratp =
+  {
+    Ratp.Endpoint.default_config with
+    retry_initial = Time.ms 20;
+    max_attempts = 3;
+  }
+
+type cluster = {
+  eng : Engine.t;
+  ether : Net.Ethernet.t;
+  nd : Ra.Node.t;
+  server : Dsm.Dsm_server.t;
+  n1 : Ra.Node.t;
+  c1 : Dsm.Dsm_client.t;
+  n2 : Ra.Node.t;
+  c2 : Dsm.Dsm_client.t;
+}
+
+let with_cluster ?(presume_abort_after = Time.sec 60) f =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd =
+        Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:fast_ratp ()
+      in
+      let server = Dsm.Dsm_server.create nd ~presume_abort_after () in
+      let locate _ = 1 in
+      let n1 =
+        Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute ~ratp_config:fast_ratp ()
+      in
+      let c1 = Dsm.Dsm_client.create n1 ~locate () in
+      let n2 =
+        Ra.Node.create ether ~id:3 ~kind:Ra.Node.Compute ~ratp_config:fast_ratp ()
+      in
+      let c2 = Dsm.Dsm_client.create n2 ~locate () in
+      f { eng; ether; nd; server; n1; c1; n2; c2 })
+
+let new_seg cl ~pages =
+  let seg = Ra.Sysname.fresh cl.nd.Ra.Node.names in
+  Store.Segment_store.create_segment
+    (Dsm.Dsm_server.store cl.server)
+    seg
+    ~size:(pages * Ra.Page.size);
+  seg
+
+let vspace_for seg ~pages =
+  let vs = Ra.Virtual_space.create () in
+  Ra.Virtual_space.map vs ~base:0 ~len:(pages * Ra.Page.size)
+    ~prot:Ra.Virtual_space.Read_write seg;
+  vs
+
+let read node vs ~addr ~len =
+  Bytes.to_string (Ra.Mmu.read node.Ra.Node.mmu vs ~addr ~len)
+
+let write node vs ~addr s =
+  Ra.Mmu.write node.Ra.Node.mmu vs ~addr (Bytes.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Coherence *)
+
+let test_shared_read () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let page = Bytes.make Ra.Page.size 'a' in
+      Store.Segment_store.write_page (Dsm.Dsm_server.store cl.server) seg 0 page;
+      let vs = vspace_for seg ~pages:1 in
+      Alcotest.(check string) "c1 sees store" "aaaa" (read cl.n1 vs ~addr:0 ~len:4);
+      Alcotest.(check string) "c2 sees store" "aaaa" (read cl.n2 vs ~addr:0 ~len:4);
+      Alcotest.(check (list int))
+        "both in copyset" [ 2; 3 ]
+        (Dsm.Dsm_server.copyset_of cl.server seg 0);
+      check_bool "no owner" true (Dsm.Dsm_server.owner_of cl.server seg 0 = None))
+
+let test_write_then_remote_read () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "hello";
+      check_bool "c1 owns" true
+        (Dsm.Dsm_server.owner_of cl.server seg 0 = Some 2);
+      Alcotest.(check string)
+        "c2 reads c1's write" "hello"
+        (read cl.n2 vs ~addr:0 ~len:5);
+      check_bool "ownership returned" true
+        (Dsm.Dsm_server.owner_of cl.server seg 0 = None);
+      check_int "one downgrade" 1 (Dsm.Dsm_server.downgrades_sent cl.server))
+
+let test_write_write_invalidation () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "first";
+      write cl.n2 vs ~addr:5 "second";
+      check_bool "c2 owns now" true
+        (Dsm.Dsm_server.owner_of cl.server seg 0 = Some 3);
+      check_bool "c1 frame invalidated" true
+        (Ra.Mmu.resident cl.n1.Ra.Node.mmu seg 0 = None);
+      check_bool "c1 received invalidation" true
+        (Dsm.Dsm_client.invalidations_received cl.c1 >= 1);
+      (* c2's write copy carried c1's bytes: both writes visible *)
+      Alcotest.(check string)
+        "merged contents" "firstsecond"
+        (read cl.n2 vs ~addr:0 ~len:11);
+      (* and c1 re-reading sees everything *)
+      Alcotest.(check string)
+        "c1 rereads coherently" "firstsecond"
+        (read cl.n1 vs ~addr:0 ~len:11))
+
+let test_read_copies_invalidated_on_write () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      ignore (read cl.n1 vs ~addr:0 ~len:1);
+      ignore (read cl.n2 vs ~addr:0 ~len:1);
+      write cl.n1 vs ~addr:0 "z";
+      check_bool "c2 read copy dropped" true
+        (Ra.Mmu.resident cl.n2.Ra.Node.mmu seg 0 = None);
+      Alcotest.(check string) "c2 refetches" "z" (read cl.n2 vs ~addr:0 ~len:1))
+
+let test_write_contention_converges () =
+  (* three nodes hammering writes on one page: the backoff must break
+     the invalidation/reply livelock and let everyone finish *)
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd = Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:fast_ratp () in
+      let server = Dsm.Dsm_server.create nd () in
+      let locate _ = 1 in
+      let nodes =
+        List.map
+          (fun id ->
+            let n = Ra.Node.create ether ~id ~kind:Ra.Node.Compute ~ratp_config:fast_ratp () in
+            ignore (Dsm.Dsm_client.create n ~locate ());
+            n)
+          [ 2; 3; 4 ]
+      in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment (Dsm.Dsm_server.store server) seg
+        ~size:Ra.Page.size;
+      let vs = vspace_for seg ~pages:1 in
+      let done_ = Semaphore.create 0 in
+      List.iteri
+        (fun i node ->
+          ignore
+            (Sim.spawn "writer" (fun () ->
+                 for k = 0 to 9 do
+                   Ra.Mmu.write node.Ra.Node.mmu vs ~addr:(8 * ((10 * i) + k))
+                     (Bytes.make 8 (Char.chr (65 + i)))
+                 done;
+                 Semaphore.release done_)))
+        nodes;
+      for _ = 1 to 3 do
+        Semaphore.acquire done_
+      done;
+      (* all thirty writes present, each node's region intact *)
+      let final = read (List.hd nodes) vs ~addr:0 ~len:(8 * 30) in
+      List.iteri
+        (fun i _node ->
+          let expected = String.make 80 (Char.chr (65 + i)) in
+          Alcotest.(check string)
+            (Printf.sprintf "region %d intact" i)
+            expected
+            (String.sub final (80 * i) 80))
+        nodes;
+      check_bool "converged promptly" true (Sim.now () < Time.sec 30))
+
+let prop_one_copy_semantics =
+  QCheck.Test.make ~name:"one-copy semantics vs sequential model" ~count:30
+    QCheck.(
+      pair small_nat
+        (list_of_size Gen.(5 -- 40)
+           (triple bool (int_range 0 (2 * 8192 - 1)) (int_range 0 255))))
+    (fun (seed, ops) ->
+      let ok = ref true in
+      with_cluster (fun cl ->
+          ignore seed;
+          let pages = 2 in
+          let seg = new_seg cl ~pages in
+          let vs = vspace_for seg ~pages in
+          let model = Bytes.make (pages * Ra.Page.size) '\000' in
+          List.iter
+            (fun (use_c1, off, v) ->
+              let node = if use_c1 then cl.n1 else cl.n2 in
+              if v mod 2 = 0 then begin
+                (* write one byte *)
+                let b = Bytes.make 1 (Char.chr v) in
+                Ra.Mmu.write node.Ra.Node.mmu vs ~addr:off b;
+                Bytes.set model off (Char.chr v)
+              end
+              else begin
+                let got = Ra.Mmu.read node.Ra.Node.mmu vs ~addr:off ~len:1 in
+                if Bytes.get got 0 <> Bytes.get model off then ok := false
+              end)
+            ops);
+      !ok)
+
+let test_flush_and_drop () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "durable";
+      Dsm.Dsm_client.flush_segment cl.c1 seg;
+      (match
+         Store.Segment_store.read_page (Dsm.Dsm_server.store cl.server) seg 0
+       with
+      | Ra.Partition.Data d ->
+          Alcotest.(check string)
+            "flushed to store" "durable"
+            (Bytes.to_string (Bytes.sub d 0 7))
+      | Ra.Partition.Zeroed -> Alcotest.fail "flush did not reach store");
+      (* now dirty local changes dropped on abort *)
+      write cl.n1 vs ~addr:0 "garbage";
+      Dsm.Dsm_client.drop_segment cl.c1 seg;
+      Alcotest.(check string)
+        "refetch sees flushed version" "durable"
+        (read cl.n1 vs ~addr:0 ~len:7))
+
+let test_missing_segment_error () =
+  with_cluster (fun cl ->
+      let bogus = Ra.Sysname.fresh cl.n1.Ra.Node.names in
+      let vs = vspace_for bogus ~pages:1 in
+      let raised =
+        try
+          ignore (read cl.n1 vs ~addr:0 ~len:1);
+          false
+        with Ra.Partition.No_segment _ -> true
+      in
+      check_bool "missing segment raises" true raised)
+
+let test_segment_rpc_lifecycle () =
+  with_cluster (fun cl ->
+      let seg = Ra.Sysname.fresh cl.n1.Ra.Node.names in
+      let create =
+        P.Create_segment { seg; size = Ra.Page.size }
+      in
+      (match
+         Ratp.Endpoint.call cl.n1.Ra.Node.endpoint ~dst:1 ~service:P.service
+           ~size:(P.request_bytes create) create
+       with
+      | Ok P.Segment_ok -> ()
+      | Ok _ | Error _ -> Alcotest.fail "create failed");
+      (match
+         Ratp.Endpoint.call cl.n1.Ra.Node.endpoint ~dst:1 ~service:P.service
+           ~size:(P.request_bytes create) create
+       with
+      | Ok P.Segment_error -> ()
+      | Ok _ | Error _ -> Alcotest.fail "duplicate create not rejected");
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "x";
+      let del = P.Delete_segment seg in
+      (match
+         Ratp.Endpoint.call cl.n1.Ra.Node.endpoint ~dst:1 ~service:P.service
+           ~size:(P.request_bytes del) del
+       with
+      | Ok P.Segment_ok -> ()
+      | Ok _ | Error _ -> Alcotest.fail "delete failed"))
+
+let test_owner_crash_recovers_stored_state () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "committedA";
+      Dsm.Dsm_client.flush_segment cl.c1 seg;
+      write cl.n1 vs ~addr:0 "uncommitted";
+      Ra.Node.crash cl.n1;
+      (* c2's read recalls from the dead owner, times out, and falls
+         back to the stored copy: the uncommitted write is lost *)
+      Alcotest.(check string)
+        "pre-crash stored contents" "committedA"
+        (read cl.n2 vs ~addr:0 ~len:10))
+
+(* ------------------------------------------------------------------ *)
+(* Lock table (direct) *)
+
+let txn n = { P.tnode = n; tseq = 0 }
+
+let test_locks_shared_and_exclusive () =
+  Sim.exec (fun () ->
+      let lt = Dsm.Lock_table.create () in
+      let seg = Ra.Sysname.fresh (Ra.Sysname.make_gen ~node:0) in
+      check_bool "r1 granted" true
+        (Dsm.Lock_table.acquire lt seg (txn 1) P.R = `Granted);
+      check_bool "r2 granted" true
+        (Dsm.Lock_table.acquire lt seg (txn 2) P.R = `Granted);
+      (* writer must wait *)
+      let w_granted = ref false in
+      ignore
+        (Sim.spawn "w" (fun () ->
+             (match Dsm.Lock_table.acquire lt seg (txn 3) P.W with
+             | `Granted -> w_granted := true
+             | `Cancelled -> ())));
+      Sim.sleep (Time.ms 1);
+      check_bool "writer waits" false !w_granted;
+      check_int "queued" 1 (Dsm.Lock_table.queue_length lt seg);
+      Dsm.Lock_table.release_txn lt (txn 1);
+      Sim.sleep (Time.ms 1);
+      check_bool "still waits for second reader" false !w_granted;
+      Dsm.Lock_table.release_txn lt (txn 2);
+      Sim.sleep (Time.ms 1);
+      check_bool "writer granted" true !w_granted;
+      check_bool "holds W" true
+        (Dsm.Lock_table.holds lt seg (txn 3) = Some P.W))
+
+let test_locks_fifo_blocks_later_readers () =
+  Sim.exec (fun () ->
+      let lt = Dsm.Lock_table.create () in
+      let seg = Ra.Sysname.fresh (Ra.Sysname.make_gen ~node:0) in
+      ignore (Dsm.Lock_table.acquire lt seg (txn 1) P.R);
+      let order = ref [] in
+      ignore
+        (Sim.spawn "w" (fun () ->
+             ignore (Dsm.Lock_table.acquire lt seg (txn 2) P.W);
+             order := "w" :: !order;
+             Dsm.Lock_table.release_txn lt (txn 2)));
+      Sim.sleep (Time.ms 1);
+      ignore
+        (Sim.spawn "r" (fun () ->
+             ignore (Dsm.Lock_table.acquire lt seg (txn 3) P.R);
+             order := "r" :: !order));
+      Sim.sleep (Time.ms 1);
+      Dsm.Lock_table.release_txn lt (txn 1);
+      Sim.sleep (Time.ms 1);
+      Alcotest.(check (list string))
+        "writer first (fifo)" [ "w"; "r" ] (List.rev !order))
+
+let test_locks_upgrade () =
+  Sim.exec (fun () ->
+      let lt = Dsm.Lock_table.create () in
+      let seg = Ra.Sysname.fresh (Ra.Sysname.make_gen ~node:0) in
+      ignore (Dsm.Lock_table.acquire lt seg (txn 1) P.R);
+      (* sole reader upgrades immediately *)
+      check_bool "upgrade granted" true
+        (Dsm.Lock_table.acquire lt seg (txn 1) P.W = `Granted);
+      check_bool "holds W" true (Dsm.Lock_table.holds lt seg (txn 1) = Some P.W);
+      (* idempotent re-acquire *)
+      check_bool "W again" true
+        (Dsm.Lock_table.acquire lt seg (txn 1) P.W = `Granted);
+      check_bool "R while W" true
+        (Dsm.Lock_table.acquire lt seg (txn 1) P.R = `Granted))
+
+let test_locks_cancellation () =
+  Sim.exec (fun () ->
+      let lt = Dsm.Lock_table.create () in
+      let seg = Ra.Sysname.fresh (Ra.Sysname.make_gen ~node:0) in
+      ignore (Dsm.Lock_table.acquire lt seg (txn 1) P.W);
+      let outcome = ref None in
+      ignore
+        (Sim.spawn "w2" (fun () ->
+             outcome := Some (Dsm.Lock_table.acquire lt seg (txn 2) P.W)));
+      Sim.sleep (Time.ms 1);
+      (* cancelling txn2 wakes its queued request with `Cancelled` *)
+      Dsm.Lock_table.release_txn lt (txn 2);
+      Sim.sleep (Time.ms 1);
+      check_bool "cancelled" true (!outcome = Some `Cancelled);
+      check_bool "holder unchanged" true
+        (Dsm.Lock_table.holds lt seg (txn 1) = Some P.W))
+
+(* ------------------------------------------------------------------ *)
+(* Lock service over RaTP + 2PC *)
+
+let rpc cl node body =
+  Ratp.Endpoint.call node.Ra.Node.endpoint ~dst:cl.nd.Ra.Node.id
+    ~service:P.service ~size:(P.request_bytes body) body
+
+let test_lock_service_and_abort_release () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let t1 = { P.tnode = 2; tseq = 1 } and t2 = { P.tnode = 3; tseq = 1 } in
+      (match rpc cl cl.n1 (P.Lock_segment { seg; kind = P.W; txn = t1 }) with
+      | Ok P.Lock_granted -> ()
+      | Ok _ | Error _ -> Alcotest.fail "t1 lock failed");
+      let t2_granted_at = ref None in
+      ignore
+        (Sim.spawn "t2-locker" (fun () ->
+             match rpc cl cl.n2 (P.Lock_segment { seg; kind = P.W; txn = t2 }) with
+             | Ok P.Lock_granted -> t2_granted_at := Some (Sim.now ())
+             | Ok _ | Error _ -> ()));
+      Sim.sleep (Time.ms 50);
+      check_bool "t2 still waiting" true (!t2_granted_at = None);
+      (match rpc cl cl.n1 (P.Abort { txn = t1 }) with
+      | Ok P.Txn_done -> ()
+      | Ok _ | Error _ -> Alcotest.fail "abort failed");
+      Sim.sleep (Time.ms 50);
+      check_bool "t2 granted after abort released locks" true
+        (!t2_granted_at <> None))
+
+let test_two_phase_commit_applies () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let t1 = { P.tnode = 2; tseq = 7 } in
+      let page = Bytes.make Ra.Page.size 'c' in
+      (match rpc cl cl.n1 (P.Prepare { txn = t1; writes = [ (seg, 0, page) ] }) with
+      | Ok (P.Vote true) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "prepare failed");
+      (* not yet applied *)
+      (match Store.Segment_store.read_page (Dsm.Dsm_server.store cl.server) seg 0 with
+      | Ra.Partition.Zeroed -> ()
+      | Ra.Partition.Data _ -> Alcotest.fail "applied before commit");
+      (match rpc cl cl.n1 (P.Commit { txn = t1 }) with
+      | Ok P.Txn_done -> ()
+      | Ok _ | Error _ -> Alcotest.fail "commit failed");
+      (match Store.Segment_store.read_page (Dsm.Dsm_server.store cl.server) seg 0 with
+      | Ra.Partition.Data d -> check_bool "applied" true (Bytes.get d 0 = 'c')
+      | Ra.Partition.Zeroed -> Alcotest.fail "commit did not apply");
+      check_int "one commit" 1 (Dsm.Dsm_server.commits cl.server);
+      (* WAL has prepare + commit *)
+      check_bool "wal recorded" true
+        (List.length (Store.Wal.records (Dsm.Dsm_server.wal cl.server)) >= 2))
+
+let test_two_phase_abort_discards () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let t1 = { P.tnode = 2; tseq = 8 } in
+      let page = Bytes.make Ra.Page.size 'x' in
+      (match rpc cl cl.n1 (P.Prepare { txn = t1; writes = [ (seg, 0, page) ] }) with
+      | Ok (P.Vote true) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "prepare failed");
+      (match rpc cl cl.n1 (P.Abort { txn = t1 }) with
+      | Ok P.Txn_done -> ()
+      | Ok _ | Error _ -> Alcotest.fail "abort failed");
+      (match Store.Segment_store.read_page (Dsm.Dsm_server.store cl.server) seg 0 with
+      | Ra.Partition.Zeroed -> ()
+      | Ra.Partition.Data _ -> Alcotest.fail "abort leaked writes");
+      check_int "one abort" 1 (Dsm.Dsm_server.aborts cl.server))
+
+let test_prepare_unknown_segment_votes_no () =
+  with_cluster (fun cl ->
+      let bogus = Ra.Sysname.fresh cl.n1.Ra.Node.names in
+      let t1 = { P.tnode = 2; tseq = 9 } in
+      match
+        rpc cl cl.n1
+          (P.Prepare { txn = t1; writes = [ (bogus, 0, Bytes.create 8) ] })
+      with
+      | Ok (P.Vote false) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected no vote")
+
+let test_presumed_abort_times_out () =
+  with_cluster ~presume_abort_after:(Time.sec 2) (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let t1 = { P.tnode = 2; tseq = 10 } in
+      (match rpc cl cl.n1 (P.Lock_segment { seg; kind = P.W; txn = t1 }) with
+      | Ok P.Lock_granted -> ()
+      | Ok _ | Error _ -> Alcotest.fail "lock failed");
+      let page = Bytes.make Ra.Page.size 'p' in
+      (match rpc cl cl.n1 (P.Prepare { txn = t1; writes = [ (seg, 0, page) ] }) with
+      | Ok (P.Vote true) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "prepare failed");
+      (* coordinator goes silent; participant must self-abort and
+         release the lock *)
+      Sim.sleep (Time.sec 3);
+      check_int "aborted" 1 (Dsm.Dsm_server.aborts cl.server);
+      (match Store.Segment_store.read_page (Dsm.Dsm_server.store cl.server) seg 0 with
+      | Ra.Partition.Zeroed -> ()
+      | Ra.Partition.Data _ -> Alcotest.fail "leaked");
+      let t2 = { P.tnode = 3; tseq = 1 } in
+      match rpc cl cl.n2 (P.Lock_segment { seg; kind = P.W; txn = t2 }) with
+      | Ok P.Lock_granted -> ()
+      | Ok _ | Error _ -> Alcotest.fail "lock not released by presumed abort")
+
+let test_server_crash_recovery () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      write cl.n1 vs ~addr:0 "persisted";
+      Dsm.Dsm_client.flush_segment cl.c1 seg;
+      Dsm.Dsm_client.drop_segment cl.c1 seg;
+      Ra.Node.crash cl.nd;
+      Sim.sleep (Time.ms 100);
+      Ra.Node.restart cl.nd;
+      Dsm.Dsm_server.recover cl.server;
+      (* stable storage survived; coherence state was rebuilt *)
+      Alcotest.(check string)
+        "store contents survive crash" "persisted"
+        (read cl.n2 vs ~addr:0 ~len:9))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "coherence",
+        [
+          Alcotest.test_case "shared read" `Quick test_shared_read;
+          Alcotest.test_case "write then remote read" `Quick
+            test_write_then_remote_read;
+          Alcotest.test_case "write-write invalidation" `Quick
+            test_write_write_invalidation;
+          Alcotest.test_case "read copies invalidated on write" `Quick
+            test_read_copies_invalidated_on_write;
+          Alcotest.test_case "flush and drop" `Quick test_flush_and_drop;
+          Alcotest.test_case "missing segment" `Quick
+            test_missing_segment_error;
+          Alcotest.test_case "segment rpc lifecycle" `Quick
+            test_segment_rpc_lifecycle;
+          Alcotest.test_case "owner crash falls back to store" `Quick
+            test_owner_crash_recovers_stored_state;
+          Alcotest.test_case "write contention converges" `Quick
+            test_write_contention_converges;
+        ] );
+      qsuite "coherence-props" [ prop_one_copy_semantics ];
+      ( "locks",
+        [
+          Alcotest.test_case "shared and exclusive" `Quick
+            test_locks_shared_and_exclusive;
+          Alcotest.test_case "fifo blocks later readers" `Quick
+            test_locks_fifo_blocks_later_readers;
+          Alcotest.test_case "upgrade" `Quick test_locks_upgrade;
+          Alcotest.test_case "cancellation" `Quick test_locks_cancellation;
+        ] );
+      ( "commit",
+        [
+          Alcotest.test_case "lock service and abort release" `Quick
+            test_lock_service_and_abort_release;
+          Alcotest.test_case "2pc commit applies" `Quick
+            test_two_phase_commit_applies;
+          Alcotest.test_case "2pc abort discards" `Quick
+            test_two_phase_abort_discards;
+          Alcotest.test_case "prepare unknown segment votes no" `Quick
+            test_prepare_unknown_segment_votes_no;
+          Alcotest.test_case "presumed abort" `Quick
+            test_presumed_abort_times_out;
+          Alcotest.test_case "server crash recovery" `Quick
+            test_server_crash_recovery;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Integration tests over the evaluation experiments: the paper's
+   quantitative claims, checked as shapes and calibrated values. *)
+
+let check_bool = Alcotest.(check bool)
+
+let within pct target v =
+  Float.abs (v -. target) /. target <= pct /. 100.0
+
+(* ------------------------------------------------------------------ *)
+
+let test_t1_matches_paper () =
+  let r = Experiments.T1_kernel.run ~samples:30 () in
+  check_bool
+    (Printf.sprintf "context switch %.3f ~ 0.14" r.Experiments.T1_kernel.context_switch_ms)
+    true
+    (within 5.0 0.14 r.Experiments.T1_kernel.context_switch_ms);
+  check_bool "zero fill ~ 1.5" true
+    (within 5.0 1.5 r.Experiments.T1_kernel.fault_zero_fill_ms);
+  check_bool "data fault ~ 0.629" true
+    (within 5.0 0.629 r.Experiments.T1_kernel.fault_data_ms);
+  (* emergent ratio, not directly calibrated *)
+  let ratio =
+    r.Experiments.T1_kernel.fault_zero_fill_ms
+    /. r.Experiments.T1_kernel.fault_data_ms
+  in
+  check_bool
+    (Printf.sprintf "zero/data ratio %.2f ~ 2.4" ratio)
+    true
+    (ratio > 2.0 && ratio < 2.9)
+
+let test_t2_matches_paper () =
+  let r = Experiments.T2_network.run ~samples:10 () in
+  let open Experiments.T2_network in
+  check_bool "eth rtt ~ 2.4" true (within 10.0 2.4 r.eth_rtt_ms);
+  check_bool "ratp rtt ~ 4.8" true (within 10.0 4.8 r.ratp_rtt_ms);
+  check_bool "page ~ 11.9" true (within 15.0 11.9 r.page_ratp_ms);
+  (* the orderings and factors are emergent from protocol structure *)
+  check_bool "ratp rtt ~ 2x eth" true
+    (r.ratp_rtt_ms /. r.eth_rtt_ms > 1.7 && r.ratp_rtt_ms /. r.eth_rtt_ms < 2.4);
+  check_bool "ratp < nfs < ftp" true
+    (r.page_ratp_ms < r.page_nfs_ms && r.page_nfs_ms < r.page_ftp_ms);
+  check_bool "ftp factor in [4, 9]" true
+    (r.page_ftp_ms /. r.page_ratp_ms > 4.0 && r.page_ftp_ms /. r.page_ratp_ms < 9.0)
+
+let test_t3_matches_paper () =
+  let r = Experiments.T3_invocation.run ~invocations:100 () in
+  let open Experiments.T3_invocation in
+  check_bool
+    (Printf.sprintf "warm %.1f ~ 8" r.warm_ms)
+    true (within 10.0 8.0 r.warm_ms);
+  check_bool
+    (Printf.sprintf "cold %.0f ~ 103" r.cold_ms)
+    true (within 10.0 103.0 r.cold_ms);
+  check_bool "locality average near the minimum" true
+    (r.locality_avg_ms < r.warm_ms *. 2.0);
+  check_bool "min < avg < max" true
+    (r.warm_ms < r.locality_avg_ms && r.locality_avg_ms < r.cold_ms)
+
+let test_f1_shape () =
+  let r =
+    Experiments.F1_sort.run ~elements:8192 ~worker_counts:[ 1; 2; 8 ] ()
+  in
+  match r.Experiments.F1_sort.points with
+  | [ p1; p2; p8 ] ->
+      let open Experiments.F1_sort in
+      (* two workers beat one; the parallel phase keeps shrinking *)
+      check_bool "2 workers faster overall" true (p2.total_ms < p1.total_ms);
+      check_bool "parallel phase shrinks" true (p2.sort_ms < p1.sort_ms);
+      (* communication grows with distribution *)
+      check_bool "page moves grow" true (p8.page_moves > p1.page_moves);
+      (* and the merge bound keeps 8 workers from scaling linearly *)
+      check_bool "no linear scaling at 8" true (p8.speedup < 4.0)
+  | _ -> Alcotest.fail "expected three points"
+
+let test_f2_shape () =
+  let r = Experiments.F2_consistency.run ~samples:9 () in
+  (match r.Experiments.F2_consistency.modes with
+  | [ s; lcp; gcp ] ->
+      let open Experiments.F2_consistency in
+      check_bool "s < lcp" true (s.mean_ms < lcp.mean_ms);
+      check_bool "lcp < gcp" true (lcp.mean_ms < gcp.mean_ms);
+      check_bool "s pays no locking" true (s.lock_rpcs = 0);
+      check_bool "lcp locks locally only" true (lcp.lock_rpcs = 0);
+      check_bool "gcp pays global locking" true (gcp.lock_rpcs > 0)
+  | _ -> Alcotest.fail "expected three modes");
+  let spans = r.Experiments.F2_consistency.spans in
+  let latencies = List.map (fun s -> s.Experiments.F2_consistency.mean_ms) spans in
+  let rec monotone = function
+    | a :: b :: rest -> a < b && monotone (b :: rest)
+    | _ -> true
+  in
+  check_bool "commit cost grows with span" true (monotone latencies)
+
+let test_f3_shape () =
+  let r = Experiments.F3_pet.run ~trials:10 ~parallel_counts:[ 1; 3 ] () in
+  match r.Experiments.F3_pet.points with
+  | [ p1; p3 ] ->
+      let open Experiments.F3_pet in
+      (* identical failure schedules: more PETs can only help *)
+      check_bool "resilience does not decrease" true
+        (p3.completion_rate >= p1.completion_rate);
+      check_bool "resources grow with parallelism" true
+        (p3.mean_thread_ms > p1.mean_thread_ms)
+  | _ -> Alcotest.fail "expected two points"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "T1 kernel" `Quick test_t1_matches_paper;
+          Alcotest.test_case "T2 network" `Quick test_t2_matches_paper;
+          Alcotest.test_case "T3 invocation" `Quick test_t3_matches_paper;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "F1 sort trade-off" `Slow test_f1_shape;
+          Alcotest.test_case "F2 consistency costs" `Quick test_f2_shape;
+          Alcotest.test_case "F3 PET trade-off" `Quick test_f3_shape;
+        ] );
+    ]

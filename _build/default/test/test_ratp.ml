@@ -1,0 +1,316 @@
+(* Tests for the RaTP transport: transactions, fragmentation,
+   retransmission, duplicate suppression, and the FTP/NFS
+   comparators. *)
+
+open Sim
+open Ratp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let echo_service = 7
+
+type Packet.body += Echo of string | Blob of int
+
+let with_pair ?(config = Endpoint.default_config) f =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let a = Endpoint.create ether ~addr:1 () in
+      let b = Endpoint.create ether ~addr:2 ~config () in
+      f ether a b)
+
+let serve_echo ?(delay = 0) b =
+  Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+      if delay > 0 then Sim.sleep delay;
+      match body with
+      | Echo s -> (Echo (s ^ "!"), String.length s + 1)
+      | Blob n -> (Blob n, n)
+      | _ -> (Echo "?", 1))
+
+(* ------------------------------------------------------------------ *)
+(* Packet math *)
+
+let test_nfrags () =
+  check_int "zero" 1 (Packet.nfrags_of ~frag_payload:1400 0);
+  check_int "one byte" 1 (Packet.nfrags_of ~frag_payload:1400 1);
+  check_int "exact" 1 (Packet.nfrags_of ~frag_payload:1400 1400);
+  check_int "one more" 2 (Packet.nfrags_of ~frag_payload:1400 1401);
+  check_int "8k" 6 (Packet.nfrags_of ~frag_payload:1400 8192)
+
+let prop_frag_sizes_sum =
+  QCheck.Test.make ~name:"fragment sizes sum to total" ~count:200
+    QCheck.(pair (int_range 1 4000) (int_range 0 20_000))
+    (fun (frag_payload, total_size) ->
+      let n = Packet.nfrags_of ~frag_payload total_size in
+      let sum = ref 0 in
+      for i = 0 to n - 1 do
+        let b = Packet.frag_bytes ~frag_payload ~total_size i in
+        if b < 0 || b > frag_payload then raise Exit;
+        sum := !sum + b
+      done;
+      !sum = max 0 total_size)
+
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let test_simple_call () =
+  let reply =
+    with_pair (fun _ether a b ->
+        serve_echo b;
+        Endpoint.call a ~dst:2 ~service:echo_service ~size:5 (Echo "hello"))
+  in
+  match reply with
+  | Ok (Echo s) -> Alcotest.(check string) "echoed" "hello!" s
+  | Ok _ -> Alcotest.fail "wrong body"
+  | Error Endpoint.Timeout -> Alcotest.fail "timed out"
+
+let test_null_rtt_calibration () =
+  (* A null transaction should land near the paper's 4.8 ms. *)
+  let elapsed =
+    with_pair (fun _ether a b ->
+        serve_echo b;
+        let t0 = Sim.now () in
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:32 (Echo "x") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "timeout");
+        Time.to_ms_f (Time.diff (Sim.now ()) t0))
+  in
+  check_bool
+    (Printf.sprintf "rtt %.2fms within [3.5, 6.5]" elapsed)
+    true
+    (elapsed >= 3.5 && elapsed <= 6.5)
+
+let test_concurrent_calls () =
+  let n_ok =
+    with_pair (fun _ether a b ->
+        serve_echo b;
+        let done_ = Semaphore.create 0 in
+        let oks = ref 0 in
+        for i = 1 to 10 do
+          ignore
+            (Sim.spawn "caller" (fun () ->
+                 let body = Echo (string_of_int i) in
+                 (match
+                    Endpoint.call a ~dst:2 ~service:echo_service ~size:8 body
+                  with
+                 | Ok (Echo s) when s = string_of_int i ^ "!" -> incr oks
+                 | Ok _ | Error _ -> ());
+                 Semaphore.release done_))
+        done;
+        for _ = 1 to 10 do
+          Semaphore.acquire done_
+        done;
+        !oks)
+  in
+  check_int "all ten distinct transactions succeed" 10 n_ok
+
+let test_large_message_fragments () =
+  let frames =
+    with_pair (fun ether a b ->
+        serve_echo b;
+        let before = Net.Ethernet.frames_sent ether in
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:8192 (Blob 8192) with
+        | Ok (Blob 8192) -> ()
+        | Ok _ -> Alcotest.fail "wrong reply"
+        | Error _ -> Alcotest.fail "timeout");
+        (* let the asynchronous ack reach the wire *)
+        Sim.sleep (Time.ms 5);
+        Net.Ethernet.frames_sent ether - before)
+  in
+  (* 6 request fragments + 6 reply fragments + 1 ack *)
+  check_int "fragment count on the wire" 13 frames
+
+let test_loss_recovered () =
+  let retrans =
+    with_pair (fun ether a b ->
+        serve_echo b;
+        Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.25;
+        for _ = 1 to 5 do
+          match Endpoint.call a ~dst:2 ~service:echo_service ~size:64 (Echo "x") with
+          | Ok (Echo "x!") -> ()
+          | Ok _ -> Alcotest.fail "corrupt reply"
+          | Error _ -> Alcotest.fail "gave up despite retries"
+        done;
+        Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.0;
+        Endpoint.retransmissions a)
+  in
+  check_bool "some retransmissions happened" true (retrans > 0)
+
+let test_timeout_when_unreachable () =
+  let r =
+    with_pair (fun ether a _b ->
+        Net.Ethernet.detach ether 2;
+        let t0 = Sim.now () in
+        let r = Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x") in
+        (r, Time.diff (Sim.now ()) t0))
+  in
+  (match fst r with
+  | Error Endpoint.Timeout -> ()
+  | Ok _ -> Alcotest.fail "should have timed out");
+  (* 8 attempts with 50ms doubling backoff = 12.75 s of waiting *)
+  check_bool "waited through full backoff" true (snd r >= Time.ms 12_000)
+
+let test_unknown_service_times_out () =
+  let r =
+    with_pair (fun _ether a _b ->
+        Endpoint.call a ~dst:2 ~service:99 ~size:8 (Echo "x"))
+  in
+  match r with
+  | Error Endpoint.Timeout -> ()
+  | Ok _ -> Alcotest.fail "no handler should mean no reply"
+
+let test_at_most_once_under_loss () =
+  (* Drop many frames; the handler must still run exactly once per
+     transaction (duplicate requests are served from the reply
+     cache). *)
+  let executions, calls =
+    with_pair (fun ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            incr count;
+            (body, 16));
+        Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.4;
+        let ok = ref 0 in
+        for _ = 1 to 8 do
+          match Endpoint.call a ~dst:2 ~service:echo_service ~size:16 (Echo "x") with
+          | Ok _ -> incr ok
+          | Error _ -> ()
+        done;
+        Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.0;
+        (!count, !ok))
+  in
+  check_bool "every successful call executed exactly once" true
+    (executions >= calls);
+  (* executions can exceed calls only for transactions that timed out
+     client-side after the handler ran; successful ones are not
+     re-executed.  With the reply cache, executions never exceeds the
+     number of distinct transactions. *)
+  check_bool "handler never ran more than once per transaction" true
+    (executions <= 8)
+
+let test_slow_handler_single_execution () =
+  (* Handler slower than the first retry interval: the client
+     retransmits, the server must not start a second execution. *)
+  let executions =
+    with_pair (fun _ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            incr count;
+            Sim.sleep (Time.ms 300);
+            (body, 8));
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "slow handler should still reply");
+        !count)
+  in
+  check_int "one execution despite retransmits" 1 executions
+
+let test_server_crash_times_out () =
+  let r =
+    Sim.exec (fun () ->
+        let eng = Sim.engine () in
+        let ether = Net.Ethernet.create eng () in
+        let a = Endpoint.create ether ~addr:1 () in
+        let b = Endpoint.create ether ~addr:2 ~group:2 () in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            Sim.sleep (Time.ms 100);
+            (body, 8));
+        (* crash the server 10ms into the handler *)
+        ignore
+          (Sim.spawn "killer" (fun () ->
+               Sim.sleep (Time.ms 10);
+               Net.Ethernet.detach ether 2;
+               Engine.kill_group eng 2));
+        Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x"))
+  in
+  match r with
+  | Error Endpoint.Timeout -> ()
+  | Ok _ -> Alcotest.fail "crashed server must not reply"
+
+(* ------------------------------------------------------------------ *)
+(* Comparators: the paper's 8K transfer comparison *)
+
+let measure f =
+  let t0 = Sim.now () in
+  f ();
+  Time.to_ms_f (Time.diff (Sim.now ()) t0)
+
+let test_transfer_comparison () =
+  let ratp_ms, ftp_ms, nfs_ms =
+    Sim.exec (fun () ->
+        let eng = Sim.engine () in
+        let ether = Net.Ethernet.create eng () in
+        let a = Endpoint.create ether ~addr:1 () in
+        let b = Endpoint.create ether ~addr:2 () in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ _ -> (Blob 8192, 8192));
+        Ftp_sim.start_server ether ~addr:3 ();
+        let ftp = Ftp_sim.client ether ~addr:4 () in
+        Nfs_sim.start_server ether ~addr:5 ();
+        let nfs = Nfs_sim.client ether ~addr:6 () in
+        let ratp_ms =
+          measure (fun () ->
+              match
+                Endpoint.call a ~dst:2 ~service:echo_service ~size:32 (Echo "get")
+              with
+              | Ok (Blob 8192) -> ()
+              | Ok _ | Error _ -> Alcotest.fail "ratp transfer failed")
+        in
+        let ftp_ms = measure (fun () -> Ftp_sim.fetch ftp ~server:3 ~bytes:8192) in
+        let nfs_ms = measure (fun () -> Nfs_sim.fetch nfs ~server:5 ~bytes:8192) in
+        (ratp_ms, ftp_ms, nfs_ms))
+  in
+  (* Paper: RaTP 11.9ms, NFS 50ms, FTP 70ms.  Check the ordering and
+     rough factors rather than exact values. *)
+  check_bool
+    (Printf.sprintf "ratp (%.1f) < nfs (%.1f)" ratp_ms nfs_ms)
+    true (ratp_ms < nfs_ms);
+  check_bool
+    (Printf.sprintf "nfs (%.1f) < ftp (%.1f)" nfs_ms ftp_ms)
+    true (nfs_ms < ftp_ms);
+  check_bool
+    (Printf.sprintf "ftp/ratp factor %.1f in [3, 12]" (ftp_ms /. ratp_ms))
+    true
+    (ftp_ms /. ratp_ms >= 3.0 && ftp_ms /. ratp_ms <= 12.0);
+  check_bool
+    (Printf.sprintf "ratp 8k %.1fms within [8, 16]" ratp_ms)
+    true
+    (ratp_ms >= 8.0 && ratp_ms <= 16.0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ratp"
+    [
+      ( "packet",
+        [ Alcotest.test_case "nfrags" `Quick test_nfrags ] );
+      qsuite "packet-props" [ prop_frag_sizes_sum ];
+      ( "transaction",
+        [
+          Alcotest.test_case "simple call" `Quick test_simple_call;
+          Alcotest.test_case "null rtt calibration" `Quick
+            test_null_rtt_calibration;
+          Alcotest.test_case "concurrent calls" `Quick test_concurrent_calls;
+          Alcotest.test_case "large message fragments" `Quick
+            test_large_message_fragments;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "loss recovered" `Quick test_loss_recovered;
+          Alcotest.test_case "timeout when unreachable" `Quick
+            test_timeout_when_unreachable;
+          Alcotest.test_case "unknown service" `Quick
+            test_unknown_service_times_out;
+          Alcotest.test_case "at-most-once under loss" `Quick
+            test_at_most_once_under_loss;
+          Alcotest.test_case "slow handler single execution" `Quick
+            test_slow_handler_single_execution;
+          Alcotest.test_case "server crash times out" `Quick
+            test_server_crash_times_out;
+        ] );
+      ( "comparators",
+        [
+          Alcotest.test_case "ratp vs ftp vs nfs 8k transfer" `Quick
+            test_transfer_comparison;
+        ] );
+    ]

@@ -1,0 +1,797 @@
+(* Unit and property tests for the discrete-event simulation engine. *)
+
+open Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.us 1);
+  check_int "ms" 1_000_000 (Time.ms 1);
+  check_int "sec" 1_000_000_000 (Time.sec 1);
+  check_int "of_ms_f" 1_500_000 (Time.of_ms_f 1.5);
+  check_int "of_us_f" 2_500 (Time.of_us_f 2.5);
+  Alcotest.(check (float 1e-9)) "to_ms_f" 1.5 (Time.to_ms_f (Time.of_ms_f 1.5));
+  check_int "add" 30 (Time.add 10 20);
+  check_int "diff" 15 (Time.diff 25 10)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  check_int "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop2" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop3" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap correct under interleaved push/pop" ~count:200
+    QCheck.(list (option int))
+    (fun ops ->
+      let h = Heap.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Heap.push h x;
+              model := List.sort Int.compare (x :: !model);
+              true
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some x, m :: rest ->
+                  model := rest;
+                  x = m
+              | None, _ :: _ | Some _, [] -> false))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics *)
+
+let test_clock_advances () =
+  let result =
+    Sim.exec (fun () ->
+        let t0 = Sim.now () in
+        Sim.sleep (Time.ms 5);
+        let t1 = Sim.now () in
+        Time.diff t1 t0)
+  in
+  check_int "slept 5ms" (Time.ms 5) result
+
+let test_spawn_ordering () =
+  let order = ref [] in
+  let eng = Engine.create () in
+  let _ =
+    Engine.spawn eng "a" (fun () -> order := "a" :: !order)
+  in
+  let _ =
+    Engine.spawn eng "b" (fun () -> order := "b" :: !order)
+  in
+  Engine.run eng;
+  Alcotest.(check (list string)) "spawn order preserved" [ "a"; "b" ]
+    (List.rev !order)
+
+let test_same_instant_fifo () =
+  (* Events scheduled at the same instant run in scheduling order. *)
+  let order = ref [] in
+  let eng = Engine.create () in
+  Engine.at eng (Time.ms 1) (fun () -> order := 1 :: !order);
+  Engine.at eng (Time.ms 1) (fun () -> order := 2 :: !order);
+  Engine.at eng (Time.ms 1) (fun () -> order := 3 :: !order);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo at same time" [ 1; 2; 3 ] (List.rev !order)
+
+let test_run_until () =
+  let fired = ref false in
+  let eng = Engine.create () in
+  Engine.at eng (Time.ms 10) (fun () -> fired := true);
+  Engine.run ~until:(Time.ms 5) eng;
+  check_bool "not yet fired" false !fired;
+  check_int "clock stopped at until" (Time.ms 5) (Engine.now eng);
+  Engine.run eng;
+  check_bool "fired later" true !fired
+
+let test_determinism () =
+  let trace seed =
+    let log = ref [] in
+    let eng = Engine.create ~seed () in
+    for i = 1 to 5 do
+      let delay = Time.us (Rng.int (Engine.rng eng) 1000) in
+      Engine.at eng delay (fun () -> log := (i, delay) :: !log)
+    done;
+    Engine.run eng;
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 7 = trace 7);
+  Alcotest.(check bool)
+    "different seed, different trace" true
+    (trace 7 <> trace 8)
+
+let test_nested_spawn_and_self () =
+  let result =
+    Sim.exec (fun () ->
+        let child_pid = Ivar.create () in
+        let p =
+          Sim.spawn "child" (fun () -> Ivar.fill child_pid (Sim.self ()))
+        in
+        let reported = Ivar.read child_pid in
+        (p, reported))
+  in
+  check_bool "self matches spawn pid" true (fst result = snd result)
+
+let test_exec_deadlock_detected () =
+  let deadlocks =
+    try
+      Sim.exec (fun () ->
+          let (iv : unit Ivar.t) = Ivar.create () in
+          Ivar.read iv);
+      false
+    with Failure _ -> true
+  in
+  check_bool "deadlock raises" true deadlocks
+
+(* ------------------------------------------------------------------ *)
+(* Kill *)
+
+let test_kill_sleeping () =
+  let eng = Engine.create () in
+  let woke = ref false in
+  let pid =
+    Engine.spawn eng "sleeper" (fun () ->
+        Sim.sleep (Time.sec 10);
+        woke := true)
+  in
+  Engine.at eng (Time.ms 1) (fun () -> Engine.kill eng pid);
+  Engine.run eng;
+  check_bool "never woke" false !woke;
+  check_bool "not alive" false (Engine.alive eng pid);
+  check_int "killed promptly, clock did not run to 10s" (Time.ms 1)
+    (Engine.now eng)
+
+let test_kill_group () =
+  let eng = Engine.create () in
+  let survivors = ref [] in
+  let mk group name =
+    Engine.spawn eng ~group name (fun () ->
+        Sim.sleep (Time.ms 10);
+        survivors := name :: !survivors)
+  in
+  let _a = mk 1 "a" and _b = mk 1 "b" and _c = mk 2 "c" in
+  Engine.at eng (Time.ms 1) (fun () -> Engine.kill_group eng 1);
+  Engine.run eng;
+  Alcotest.(check (list string)) "only group 2 survives" [ "c" ] !survivors
+
+let test_spawn_inherits_group () =
+  let eng = Engine.create () in
+  let child_ran = ref false in
+  let _parent =
+    Engine.spawn eng ~group:9 "parent" (fun () ->
+        let _ =
+          Sim.spawn "child" (fun () ->
+              Sim.sleep (Time.ms 10);
+              child_ran := true)
+        in
+        ())
+  in
+  Engine.at eng (Time.ms 1) (fun () -> Engine.kill_group eng 9);
+  Engine.run eng;
+  check_bool "child inherited group and was killed" false !child_ran
+
+let test_killed_not_resumed_by_waker () =
+  (* A waker arriving after kill must not resurrect the process. *)
+  let eng = Engine.create () in
+  let resumed = ref false in
+  let iv = Ivar.create () in
+  let pid =
+    Engine.spawn eng "reader" (fun () ->
+        let () = Ivar.read iv in
+        resumed := true)
+  in
+  Engine.at eng (Time.ms 1) (fun () -> Engine.kill eng pid);
+  Engine.at eng (Time.ms 2) (fun () -> Ivar.fill iv ());
+  Engine.run eng;
+  check_bool "not resumed" false !resumed
+
+let test_mutex_handoff_skips_dead_waiter () =
+  (* A holds the mutex; B queues then dies; when A unlocks, the lock
+     must not be stranded on the dead B — C gets it. *)
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let m = Mutex.create () in
+      Mutex.lock m;
+      let b =
+        Engine.spawn eng "b" (fun () ->
+            Mutex.lock m;
+            Alcotest.fail "dead waiter must not get the lock")
+      in
+      let c_got = ref false in
+      let _c =
+        Engine.spawn eng "c" (fun () ->
+            Mutex.lock m;
+            c_got := true;
+            Mutex.unlock m)
+      in
+      Sim.sleep (Time.ms 1);
+      Engine.kill eng b;
+      Sim.sleep (Time.ms 1);
+      Mutex.unlock m;
+      Sim.sleep (Time.ms 1);
+      check_bool "c acquired after dead b skipped" true !c_got;
+      check_bool "free afterwards" false (Mutex.locked m))
+
+let test_semaphore_release_skips_dead_waiter () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let s = Semaphore.create 0 in
+      let b = Engine.spawn eng "b" (fun () -> Semaphore.acquire s) in
+      Sim.sleep (Time.ms 1);
+      Engine.kill eng b;
+      Sim.sleep (Time.ms 1);
+      Semaphore.release s;
+      (* the dead waiter must not swallow the count *)
+      check_int "count restored" 1 (Semaphore.count s))
+
+let test_rwlock_grant_skips_dead_waiter () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let l = Rwlock.create () in
+      Rwlock.lock_write l;
+      let b = Engine.spawn eng "b" (fun () -> Rwlock.lock_write l) in
+      let c_got = ref false in
+      let _c =
+        Engine.spawn eng "c" (fun () ->
+            Rwlock.lock_read l;
+            c_got := true)
+      in
+      Sim.sleep (Time.ms 1);
+      Engine.kill eng b;
+      Rwlock.unlock_write l;
+      Sim.sleep (Time.ms 1);
+      check_bool "reader granted past dead writer" true !c_got)
+
+let test_on_terminate () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let log = ref [] in
+      (* normal completion *)
+      let a = Engine.spawn eng "a" (fun () -> Sim.sleep (Time.ms 1)) in
+      Engine.on_terminate eng a (fun () -> log := "a" :: !log);
+      (* killed *)
+      let b = Engine.spawn eng "b" (fun () -> Sim.sleep (Time.sec 10)) in
+      Engine.on_terminate eng b (fun () -> log := "b" :: !log);
+      Sim.sleep (Time.ms 2);
+      check_bool "a reported" true (List.mem "a" !log);
+      check_bool "b not yet" false (List.mem "b" !log);
+      Engine.kill eng b;
+      Sim.sleep (Time.ms 1);
+      check_bool "b reported after kill" true (List.mem "b" !log);
+      (* already-finished process: callback runs immediately *)
+      Engine.on_terminate eng a (fun () -> log := "late" :: !log);
+      check_bool "late callback immediate" true (List.mem "late" !log))
+
+(* ------------------------------------------------------------------ *)
+(* Ivar *)
+
+let test_ivar_fill_then_read () =
+  let v =
+    Sim.exec (fun () ->
+        let iv = Ivar.create () in
+        Ivar.fill iv 42;
+        Ivar.read iv)
+  in
+  check_int "read full" 42 v
+
+let test_ivar_read_blocks () =
+  let v =
+    Sim.exec (fun () ->
+        let iv = Ivar.create () in
+        let _ =
+          Sim.spawn "filler" (fun () ->
+              Sim.sleep (Time.ms 3);
+              Ivar.fill iv 7)
+        in
+        let x = Ivar.read iv in
+        (x, Sim.now ()))
+  in
+  check_int "value" 7 (fst v);
+  check_int "waited 3ms" (Time.ms 3) (snd v)
+
+let test_ivar_multiple_readers () =
+  let total =
+    Sim.exec (fun () ->
+        let iv = Ivar.create () in
+        let acc = ref 0 in
+        let done_ = Semaphore.create 0 in
+        for _ = 1 to 3 do
+          ignore
+            (Sim.spawn "reader" (fun () ->
+                 acc := !acc + Ivar.read iv;
+                 Semaphore.release done_))
+        done;
+        Sim.sleep (Time.ms 1);
+        Ivar.fill iv 5;
+        for _ = 1 to 3 do
+          Semaphore.acquire done_
+        done;
+        !acc)
+  in
+  check_int "all readers woken" 15 total
+
+let test_ivar_double_fill () =
+  let raised =
+    Sim.exec (fun () ->
+        let iv = Ivar.create () in
+        Ivar.fill iv 1;
+        check_bool "try_fill on full" false (Ivar.try_fill iv 2);
+        try
+          Ivar.fill iv 3;
+          false
+        with Invalid_argument _ -> true)
+  in
+  check_bool "double fill raises" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let received =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        Mailbox.send mb 1;
+        Mailbox.send mb 2;
+        Mailbox.send mb 3;
+        let a = Mailbox.recv mb in
+        let b = Mailbox.recv mb in
+        let c = Mailbox.recv mb in
+        [ a; b; c ])
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] received
+
+let test_mailbox_blocking_recv () =
+  let v =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        let _ =
+          Sim.spawn "sender" (fun () ->
+              Sim.sleep (Time.ms 2);
+              Mailbox.send mb 99)
+        in
+        Mailbox.recv mb)
+  in
+  check_int "received" 99 v
+
+let test_mailbox_timeout_expires () =
+  let r =
+    Sim.exec (fun () ->
+        let mb : int Mailbox.t = Mailbox.create "mb" in
+        let v = Mailbox.recv_timeout mb (Time.ms 5) in
+        (v, Sim.now ()))
+  in
+  Alcotest.(check (option int)) "timed out" None (fst r);
+  check_int "waited exactly timeout" (Time.ms 5) (snd r)
+
+let test_mailbox_timeout_delivers () =
+  let r =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        let _ =
+          Sim.spawn "sender" (fun () ->
+              Sim.sleep (Time.ms 2);
+              Mailbox.send mb 1)
+        in
+        Mailbox.recv_timeout mb (Time.ms 5))
+  in
+  Alcotest.(check (option int)) "delivered" (Some 1) r
+
+let test_mailbox_value_not_lost_on_timeout () =
+  (* If the receiver times out, a later send must stay in the queue. *)
+  let r =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        let first = Mailbox.recv_timeout mb (Time.ms 1) in
+        Mailbox.send mb 8;
+        let second = Mailbox.try_recv mb in
+        (first, second))
+  in
+  Alcotest.(check (option int)) "timed out first" None (fst r);
+  Alcotest.(check (option int)) "value kept" (Some 8) (snd r)
+
+let test_mailbox_receivers_fifo () =
+  let order =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        let log = ref [] in
+        let done_ = Semaphore.create 0 in
+        let reader name =
+          ignore
+            (Sim.spawn name (fun () ->
+                 let v = Mailbox.recv mb in
+                 log := (name, v) :: !log;
+                 Semaphore.release done_))
+        in
+        reader "r1";
+        Sim.yield ();
+        reader "r2";
+        Sim.sleep (Time.ms 1);
+        Mailbox.send mb 10;
+        Mailbox.send mb 20;
+        Semaphore.acquire done_;
+        Semaphore.acquire done_;
+        List.rev !log)
+  in
+  Alcotest.(check (list (pair string int)))
+    "receivers served in arrival order"
+    [ ("r1", 10); ("r2", 20) ]
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore / Mutex / Condition *)
+
+let test_semaphore_counts () =
+  Sim.exec (fun () ->
+      let s = Semaphore.create 2 in
+      Semaphore.acquire s;
+      Semaphore.acquire s;
+      check_int "exhausted" 0 (Semaphore.count s);
+      check_bool "try fails at zero" false (Semaphore.try_acquire s);
+      Semaphore.release s;
+      check_bool "try succeeds" true (Semaphore.try_acquire s))
+
+let test_semaphore_blocks_and_wakes () =
+  let waited =
+    Sim.exec (fun () ->
+        let s = Semaphore.create 0 in
+        let _ =
+          Sim.spawn "releaser" (fun () ->
+              Sim.sleep (Time.ms 4);
+              Semaphore.release s)
+        in
+        Semaphore.acquire s;
+        Sim.now ())
+  in
+  check_int "woken at release time" (Time.ms 4) waited
+
+let test_mutex_mutual_exclusion () =
+  let max_inside =
+    Sim.exec (fun () ->
+        let m = Mutex.create () in
+        let inside = ref 0 in
+        let peak = ref 0 in
+        let done_ = Semaphore.create 0 in
+        for i = 1 to 4 do
+          ignore
+            (Sim.spawn (Printf.sprintf "p%d" i) (fun () ->
+                 Mutex.with_lock m (fun () ->
+                     incr inside;
+                     peak := max !peak !inside;
+                     Sim.sleep (Time.ms 1);
+                     decr inside);
+                 Semaphore.release done_))
+        done;
+        for _ = 1 to 4 do
+          Semaphore.acquire done_
+        done;
+        !peak)
+  in
+  check_int "never two holders" 1 max_inside
+
+let test_mutex_exception_releases () =
+  Sim.exec (fun () ->
+      let m = Mutex.create () in
+      (try Mutex.with_lock m (fun () -> failwith "boom")
+       with Failure _ -> ());
+      check_bool "released after exception" false (Mutex.locked m))
+
+let test_condition_signal () =
+  let v =
+    Sim.exec (fun () ->
+        let m = Mutex.create () in
+        let c = Condition.create () in
+        let ready = ref false in
+        let _ =
+          Sim.spawn "signaler" (fun () ->
+              Sim.sleep (Time.ms 2);
+              Mutex.with_lock m (fun () ->
+                  ready := true;
+                  Condition.signal c))
+        in
+        Mutex.lock m;
+        while not !ready do
+          Condition.wait c m
+        done;
+        Mutex.unlock m;
+        Sim.now ())
+  in
+  check_int "woken by signal" (Time.ms 2) v
+
+let test_condition_broadcast () =
+  let n =
+    Sim.exec (fun () ->
+        let m = Mutex.create () in
+        let c = Condition.create () in
+        let woken = ref 0 in
+        let done_ = Semaphore.create 0 in
+        for _ = 1 to 3 do
+          ignore
+            (Sim.spawn "waiter" (fun () ->
+                 Mutex.lock m;
+                 Condition.wait c m;
+                 incr woken;
+                 Mutex.unlock m;
+                 Semaphore.release done_))
+        done;
+        Sim.sleep (Time.ms 1);
+        Mutex.with_lock m (fun () -> Condition.broadcast c);
+        for _ = 1 to 3 do
+          Semaphore.acquire done_
+        done;
+        !woken)
+  in
+  check_int "all woken" 3 n
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock *)
+
+let test_rwlock_shared_readers () =
+  Sim.exec (fun () ->
+      let l = Rwlock.create () in
+      Rwlock.lock_read l;
+      Rwlock.lock_read l;
+      (match Rwlock.holders l with
+      | `Readers 2 -> ()
+      | _ -> Alcotest.fail "expected two readers");
+      check_bool "writer blocked" false (Rwlock.try_lock_write l);
+      Rwlock.unlock_read l;
+      Rwlock.unlock_read l;
+      check_bool "writer acquires when free" true (Rwlock.try_lock_write l))
+
+let test_rwlock_writer_excludes () =
+  Sim.exec (fun () ->
+      let l = Rwlock.create () in
+      Rwlock.lock_write l;
+      check_bool "no second writer" false (Rwlock.try_lock_write l);
+      check_bool "no reader under writer" false (Rwlock.try_lock_read l);
+      Rwlock.unlock_write l)
+
+let test_rwlock_fifo_no_starvation () =
+  (* reader holds; writer queues; a later reader must wait behind the
+     writer (FIFO), so the writer is not starved. *)
+  let order =
+    Sim.exec (fun () ->
+        let l = Rwlock.create () in
+        let log = ref [] in
+        let done_ = Semaphore.create 0 in
+        Rwlock.lock_read l;
+        ignore
+          (Sim.spawn "writer" (fun () ->
+               Rwlock.lock_write l;
+               log := "w" :: !log;
+               Rwlock.unlock_write l;
+               Semaphore.release done_));
+        Sim.yield ();
+        ignore
+          (Sim.spawn "late-reader" (fun () ->
+               Rwlock.lock_read l;
+               log := "r" :: !log;
+               Rwlock.unlock_read l;
+               Semaphore.release done_));
+        Sim.sleep (Time.ms 1);
+        Rwlock.unlock_read l;
+        Semaphore.acquire done_;
+        Semaphore.acquire done_;
+        List.rev !log)
+  in
+  Alcotest.(check (list string)) "writer before late reader" [ "w"; "r" ] order
+
+let prop_rwlock_invariant =
+  (* Under random operations, never a writer with readers or two
+     writers. *)
+  QCheck.Test.make ~name:"rwlock safety under random schedules" ~count:60
+    QCheck.(pair small_nat (small_list (pair bool small_nat)))
+    (fun (seed, plan) ->
+      let violation = ref false in
+      let ignore_pid (_ : Engine.pid) = () in
+      (try
+         Sim.exec ~seed (fun () ->
+             let l = Rwlock.create () in
+             let readers = ref 0 in
+             let writers = ref 0 in
+             let live = ref (List.length plan) in
+             let done_ = Semaphore.create 0 in
+             let check () =
+               if !writers > 1 || (!writers = 1 && !readers > 0) then
+                 violation := true
+             in
+             List.iter
+               (fun (is_writer, delay) ->
+                 ignore_pid
+                   (Sim.spawn "op" (fun () ->
+                        Sim.sleep (Time.us delay);
+                        if is_writer then begin
+                          Rwlock.lock_write l;
+                          incr writers;
+                          check ();
+                          Sim.sleep (Time.us 10);
+                          decr writers;
+                          Rwlock.unlock_write l
+                        end
+                        else begin
+                          Rwlock.lock_read l;
+                          incr readers;
+                          check ();
+                          Sim.sleep (Time.us 10);
+                          decr readers;
+                          Rwlock.unlock_read l
+                        end;
+                        Semaphore.release done_)))
+               plan;
+             for _ = 1 to !live do
+               Semaphore.acquire done_
+             done)
+       with Failure _ -> ());
+      not !violation)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_summary () =
+  let s = Stats.series "t" in
+  List.iter (Stats.add s) [ 4.0; 1.0; 3.0; 2.0 ];
+  check_int "n" 4 (Stats.n s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_v s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_v s);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile s 50.0)
+
+let test_stats_counter () =
+  let c = Stats.counter "c" in
+  Stats.incr c;
+  Stats.incr_by c 4;
+  check_int "value" 5 (Stats.value c)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean within min..max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.series "p" in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min_v s -. 1e-9
+      && Stats.mean s <= Stats.max_v s +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_record () =
+  let tr = Trace.create () in
+  Trace.record tr (Time.ms 1) "send" "a";
+  Trace.record tr (Time.ms 2) "recv" "b";
+  check_int "count" 2 (Trace.count tr ());
+  check_int "by tag" 1 (Trace.count tr ~tag:"send" ());
+  Trace.set_enabled tr false;
+  Trace.record tr (Time.ms 3) "send" "c";
+  check_int "disabled drops" 2 (Trace.count tr ());
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.count tr ())
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [ Alcotest.test_case "units and arithmetic" `Quick test_time_units ] );
+      ( "heap",
+        [ Alcotest.test_case "basic order" `Quick test_heap_basic ] );
+      qsuite "heap-props" [ prop_heap_sorted; prop_heap_interleaved ];
+      ( "engine",
+        [
+          Alcotest.test_case "clock advances on sleep" `Quick
+            test_clock_advances;
+          Alcotest.test_case "spawn order" `Quick test_spawn_ordering;
+          Alcotest.test_case "same-instant fifo" `Quick test_same_instant_fifo;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "nested spawn and self" `Quick
+            test_nested_spawn_and_self;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_exec_deadlock_detected;
+        ] );
+      ( "kill",
+        [
+          Alcotest.test_case "kill sleeping process" `Quick test_kill_sleeping;
+          Alcotest.test_case "kill group" `Quick test_kill_group;
+          Alcotest.test_case "spawn inherits group" `Quick
+            test_spawn_inherits_group;
+          Alcotest.test_case "waker cannot resurrect" `Quick
+            test_killed_not_resumed_by_waker;
+          Alcotest.test_case "mutex handoff skips dead waiter" `Quick
+            test_mutex_handoff_skips_dead_waiter;
+          Alcotest.test_case "semaphore skips dead waiter" `Quick
+            test_semaphore_release_skips_dead_waiter;
+          Alcotest.test_case "rwlock skips dead waiter" `Quick
+            test_rwlock_grant_skips_dead_waiter;
+          Alcotest.test_case "on_terminate" `Quick test_on_terminate;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks until fill" `Quick
+            test_ivar_read_blocks;
+          Alcotest.test_case "multiple readers" `Quick
+            test_ivar_multiple_readers;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
+          Alcotest.test_case "timeout expires" `Quick
+            test_mailbox_timeout_expires;
+          Alcotest.test_case "timeout delivers" `Quick
+            test_mailbox_timeout_delivers;
+          Alcotest.test_case "value kept after timeout" `Quick
+            test_mailbox_value_not_lost_on_timeout;
+          Alcotest.test_case "receivers fifo" `Quick
+            test_mailbox_receivers_fifo;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "counts" `Quick test_semaphore_counts;
+          Alcotest.test_case "blocks and wakes" `Quick
+            test_semaphore_blocks_and_wakes;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick
+            test_mutex_mutual_exclusion;
+          Alcotest.test_case "exception releases" `Quick
+            test_mutex_exception_releases;
+        ] );
+      ( "condition",
+        [
+          Alcotest.test_case "signal" `Quick test_condition_signal;
+          Alcotest.test_case "broadcast" `Quick test_condition_broadcast;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "shared readers" `Quick test_rwlock_shared_readers;
+          Alcotest.test_case "writer excludes" `Quick
+            test_rwlock_writer_excludes;
+          Alcotest.test_case "fifo prevents writer starvation" `Quick
+            test_rwlock_fifo_no_starvation;
+        ] );
+      qsuite "rwlock-props" [ prop_rwlock_invariant ];
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "counter" `Quick test_stats_counter;
+        ] );
+      qsuite "stats-props" [ prop_stats_mean_bounds ];
+      ("trace", [ Alcotest.test_case "record" `Quick test_trace_record ]);
+    ]

@@ -1,0 +1,201 @@
+(* Tests for data-server stable storage: disk timing, segment store,
+   write-ahead log and directory. *)
+
+open Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let seg_gen = Ra.Sysname.make_gen ~node:0
+
+(* ------------------------------------------------------------------ *)
+(* Disk *)
+
+let test_disk_timing () =
+  let elapsed =
+    Sim.exec (fun () ->
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let d = Store.Disk.create ~config:cfg "d" in
+        let t0 = Sim.now () in
+        Store.Disk.write d ~bytes:8192;
+        Time.diff (Sim.now ()) t0)
+  in
+  check_int "seek + transfer" (Time.ms 12) elapsed
+
+let test_disk_serializes () =
+  let elapsed =
+    Sim.exec (fun () ->
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let d = Store.Disk.create ~config:cfg "d" in
+        let done_ = Semaphore.create 0 in
+        for _ = 1 to 2 do
+          ignore
+            (Sim.spawn "io" (fun () ->
+                 Store.Disk.write d ~bytes:8192;
+                 Semaphore.release done_))
+        done;
+        Semaphore.acquire done_;
+        Semaphore.acquire done_;
+        Sim.now ())
+  in
+  check_int "two writes serialize" (Time.ms 24) elapsed;
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Segment store *)
+
+let test_segment_lifecycle () =
+  let s = Store.Segment_store.create "s" in
+  let seg = Ra.Sysname.fresh seg_gen in
+  check_bool "absent" false (Store.Segment_store.exists s seg);
+  Store.Segment_store.create_segment s seg ~size:(2 * Ra.Page.size);
+  check_bool "present" true (Store.Segment_store.exists s seg);
+  check_int "size" (2 * Ra.Page.size) (Store.Segment_store.size s seg);
+  check_bool "duplicate create rejected" true
+    (try
+       Store.Segment_store.create_segment s seg ~size:1;
+       false
+     with Invalid_argument _ -> true);
+  Store.Segment_store.delete_segment s seg;
+  check_bool "deleted" false (Store.Segment_store.exists s seg)
+
+let test_segment_pages () =
+  let s = Store.Segment_store.create "s" in
+  let seg = Ra.Sysname.fresh seg_gen in
+  Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+  (match Store.Segment_store.read_page s seg 0 with
+  | Ra.Partition.Zeroed -> ()
+  | Ra.Partition.Data _ -> Alcotest.fail "untouched page should be zeroed");
+  let page = Bytes.make Ra.Page.size 'p' in
+  Store.Segment_store.write_page s seg 0 page;
+  (match Store.Segment_store.read_page s seg 0 with
+  | Ra.Partition.Data d ->
+      check_bool "roundtrip" true (Bytes.equal d page);
+      (* mutation of the returned buffer must not alias the store *)
+      Bytes.set d 0 'q';
+      (match Store.Segment_store.read_page s seg 0 with
+      | Ra.Partition.Data d2 -> check_bool "no aliasing" true (Bytes.get d2 0 = 'p')
+      | Ra.Partition.Zeroed -> Alcotest.fail "lost page")
+  | Ra.Partition.Zeroed -> Alcotest.fail "wrote page");
+  let missing = Ra.Sysname.fresh seg_gen in
+  check_bool "missing segment raises" true
+    (try
+       ignore (Store.Segment_store.read_page s missing 0);
+       false
+     with Ra.Partition.No_segment _ -> true)
+
+let test_local_partition () =
+  Sim.exec (fun () ->
+      let s = Store.Segment_store.create "s" in
+      let seg = Ra.Sysname.fresh seg_gen in
+      Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+      let p = Store.Segment_store.local_partition s in
+      (match p.Ra.Partition.fetch ~seg ~page:0 ~mode:Ra.Partition.Read with
+      | Ra.Partition.Zeroed -> ()
+      | Ra.Partition.Data _ -> Alcotest.fail "expected zeroed");
+      p.Ra.Partition.writeback ~seg ~page:0 (Bytes.make Ra.Page.size 'w');
+      match p.Ra.Partition.fetch ~seg ~page:0 ~mode:Ra.Partition.Read with
+      | Ra.Partition.Data d -> check_bool "written" true (Bytes.get d 0 = 'w')
+      | Ra.Partition.Zeroed -> Alcotest.fail "expected data")
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let page_of_char c = Bytes.make Ra.Page.size c
+
+let test_wal_recover_committed () =
+  Sim.exec (fun () ->
+      let disk = Store.Disk.create "d" in
+      let wal = Store.Wal.create disk in
+      let s = Store.Segment_store.create "s" in
+      let seg = Ra.Sysname.fresh seg_gen in
+      Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+      Store.Wal.append wal
+        (Store.Wal.Prepared { txn = (1, 1); writes = [ (seg, 0, page_of_char 'a') ] });
+      Store.Wal.append wal (Store.Wal.Committed (1, 1));
+      (* an undecided transaction, must be presumed aborted *)
+      Store.Wal.append wal
+        (Store.Wal.Prepared { txn = (1, 2); writes = [ (seg, 0, page_of_char 'b') ] });
+      let applied = ref [] in
+      Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied;
+      Alcotest.(check (list (pair int int))) "applied" [ (1, 1) ] !applied;
+      (match Store.Segment_store.read_page s seg 0 with
+      | Ra.Partition.Data d -> check_bool "committed applied" true (Bytes.get d 0 = 'a')
+      | Ra.Partition.Zeroed -> Alcotest.fail "not applied");
+      (* the undecided txn now has an abort marker *)
+      let aborted =
+        List.exists
+          (function Store.Wal.Aborted (1, 2) -> true | _ -> false)
+          (Store.Wal.records wal)
+      in
+      check_bool "presumed abort logged" true aborted)
+
+let test_wal_costs_disk_time () =
+  let elapsed =
+    Sim.exec (fun () ->
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let disk = Store.Disk.create ~config:cfg "d" in
+        let wal = Store.Wal.create disk in
+        let t0 = Sim.now () in
+        Store.Wal.append wal (Store.Wal.Committed (1, 1));
+        Time.diff (Sim.now ()) t0)
+  in
+  check_bool "durable append costs time" true (elapsed >= Time.ms 10)
+
+let test_wal_truncate () =
+  Sim.exec (fun () ->
+      let disk = Store.Disk.create "d" in
+      let wal = Store.Wal.create disk in
+      Store.Wal.append wal (Store.Wal.Committed (1, 1));
+      Store.Wal.truncate wal;
+      check_int "empty" 0 (List.length (Store.Wal.records wal)))
+
+(* ------------------------------------------------------------------ *)
+(* Directory *)
+
+let test_directory () =
+  let d = Store.Directory.create () in
+  let obj = Ra.Sysname.fresh seg_gen in
+  let code = Ra.Sysname.fresh seg_gen in
+  let desc =
+    {
+      Store.Directory.class_name = "rectangle";
+      home = 1;
+      entries = [ { Store.Directory.role = "code"; seg = code; size = 8192 } ];
+    }
+  in
+  check_bool "empty" true (Store.Directory.lookup d obj = None);
+  Store.Directory.register d obj desc;
+  (match Store.Directory.lookup d obj with
+  | Some found ->
+      Alcotest.(check string) "class" "rectangle" found.Store.Directory.class_name
+  | None -> Alcotest.fail "registered but not found");
+  check_int "listed" 1 (List.length (Store.Directory.objects d));
+  check_bool "bytes positive" true (Store.Directory.descriptor_bytes desc > 64);
+  Store.Directory.remove d obj;
+  check_bool "removed" true (Store.Directory.lookup d obj = None)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "timing" `Quick test_disk_timing;
+          Alcotest.test_case "serializes" `Quick test_disk_serializes;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_segment_lifecycle;
+          Alcotest.test_case "pages" `Quick test_segment_pages;
+          Alcotest.test_case "local partition" `Quick test_local_partition;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "recover committed only" `Quick
+            test_wal_recover_committed;
+          Alcotest.test_case "append costs disk time" `Quick
+            test_wal_costs_disk_time;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+        ] );
+      ("directory", [ Alcotest.test_case "crud" `Quick test_directory ]);
+    ]
