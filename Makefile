@@ -1,0 +1,23 @@
+.PHONY: all build test check faults experiments clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: everything compiles and every suite passes.
+check:
+	dune build
+	dune runtest
+
+faults:
+	dune exec bin/experiments_main.exe -- faults
+
+experiments:
+	dune exec bin/experiments_main.exe
+
+clean:
+	dune clean

@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let all_ids = [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "ablations" ]
+let all_ids = [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "faults"; "ablations" ]
 
 let run_one ~quick id =
   match id with
@@ -34,6 +34,12 @@ let run_one ~quick id =
   | "f3" ->
       let trials = if quick then 8 else 25 in
       print_string (Experiments.F3_pet.report (Experiments.F3_pet.run ~trials ()))
+  | "faults" ->
+      let outcomes = Experiments.Faults.run_all () in
+      print_string (Experiments.Faults.report outcomes);
+      List.iter
+        (fun o -> Printf.printf "  %s\n" (Experiments.Faults.summary o))
+        outcomes
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
   | other -> Printf.eprintf "unknown experiment %S (know: %s)\n" other (String.concat " " all_ids)
 

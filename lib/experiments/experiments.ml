@@ -13,4 +13,5 @@ module T3_invocation = T3_invocation
 module F1_sort = F1_sort
 module F2_consistency = F2_consistency
 module F3_pet = F3_pet
+module Faults = Faults
 module Ablations = Ablations

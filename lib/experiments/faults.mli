@@ -1,0 +1,50 @@
+(** Named, reproducible fault-injection scenarios.
+
+    Each scenario boots a fresh simulated system, installs a fault
+    plan through {!Net.Fault} (loss profiles, scripted filters, timed
+    partitions, scheduled node crash/restart), drives a workload, and
+    checks the recovery invariants: committed data survives, handler
+    effects are at-most-once per transaction id, every call completes
+    or times out, and retransmission counters line up with the
+    injected loss.
+
+    Outcomes are pure functions of (scenario, seed): running a
+    scenario twice with the same seed yields identical statistics and
+    trace, which the test suite asserts. *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  calls : int;
+  oks : int;
+  timeouts : int;
+  aborts : int;  (** transaction aborts surfaced to the caller *)
+  commits : int;  (** handler/transaction effects committed *)
+  duplicate_commits : int;  (** calls whose effect committed twice *)
+  lost_commits : int;  (** acknowledged calls missing from the store *)
+  retransmissions : int;
+  drops : int;
+  duplicates : int;
+  violations : string list;  (** empty iff every invariant holds *)
+  trace : string;  (** canonical per-call trace for determinism checks *)
+}
+
+val scenarios : string list
+(** The scenario names, in execution order: fragment-loss,
+    reply-loss, ack-loss, burst-loss, jitter-dup-reorder,
+    mid-call-partition, server-crash-restart, mid-commit-partition
+    (bank over 2PC), pet-crash-quorum. *)
+
+val run : ?seed:int -> string -> outcome
+(** Run one scenario (default seed 42).  Raises [Invalid_argument]
+    for an unknown name. *)
+
+val run_all : ?seed:int -> unit -> outcome list
+(** Run every scenario. *)
+
+val summary : outcome -> string
+(** One-line canonical rendering of every field; equal strings mean
+    equal outcomes (used for determinism checks). *)
+
+val report : outcome list -> string
+(** Human-readable table for the experiment driver. *)

@@ -33,7 +33,7 @@ let create eng ?(config = default_config) () =
   {
     eng;
     cfg = config;
-    fault = Fault.create (Sim.Rng.split (Sim.Engine.rng eng));
+    fault = Fault.create eng (Sim.Rng.split (Sim.Engine.rng eng));
     nics = Hashtbl.create 16;
     bus = Sim.Mutex.create ~label:"ether-bus" ();
     frames = Sim.Stats.counter "ether.frames";
@@ -68,13 +68,24 @@ let wire_time cfg bytes =
   ns + cfg.frame_gap
 
 (* Delivery happens [propagation] after the wire time ends; faults
-   are evaluated per destination at delivery time. *)
+   are evaluated per destination at delivery time.  The fault plan
+   may suppress the frame, deliver extra copies, or push a copy
+   later (jitter / reordering). *)
 let deliver t (frame : Frame.t) =
   let deliver_to addr =
-    if Fault.deliverable t.fault ~src:frame.src ~dst:addr then
+    let push () =
       match Hashtbl.find_opt t.nics addr with
       | Some n -> Nic.deliver n frame
       | None -> ()
+    in
+    List.iter
+      (fun extra ->
+        if extra <= 0 then push ()
+        else
+          Sim.Engine.at t.eng
+            (Sim.Time.add (Sim.Engine.now t.eng) extra)
+            push)
+      (Fault.plan t.fault ~src:frame.src ~dst:addr frame)
   in
   match frame.dst with
   | Frame.Unicast addr -> deliver_to addr

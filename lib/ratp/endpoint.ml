@@ -52,6 +52,7 @@ type t = {
   services : (int, handler) Hashtbl.t;
   retrans : Sim.Stats.counter;
   completed : Sim.Stats.counter;
+  mutable rx_pid : Sim.Engine.pid;
 }
 
 let addr t = t.address
@@ -211,13 +212,14 @@ let create ether ~addr ?group ?(config = default_config) () =
       services = Hashtbl.create 8;
       retrans = Sim.Stats.counter "ratp.retrans";
       completed = Sim.Stats.counter "ratp.transactions";
+      rx_pid = 0;
     }
   in
   let eng = Net.Ethernet.engine ether in
-  ignore
-    (Sim.Engine.spawn eng ?group
-       (Printf.sprintf "ratp-rx-%d" addr)
-       (fun () -> rx_loop t));
+  t.rx_pid <-
+    Sim.Engine.spawn eng ?group
+      (Printf.sprintf "ratp-rx-%d" addr)
+      (fun () -> rx_loop t);
   t
 
 let serve t ~service handler = Hashtbl.replace t.services service handler
@@ -226,10 +228,14 @@ let restart t =
   Tid_table.reset t.clients;
   Tid_table.reset t.servers;
   let eng = Net.Ethernet.engine t.ether in
-  ignore
-    (Sim.Engine.spawn eng ?group:t.group
-       (Printf.sprintf "ratp-rx-%d" t.address)
-       (fun () -> rx_loop t))
+  (* the previous rx loop is usually already dead (group-killed by the
+     machine crash), but when [restart] is called on its own we must
+     not leave two rx loops racing on the NIC *)
+  Sim.Engine.kill eng t.rx_pid;
+  t.rx_pid <-
+    Sim.Engine.spawn eng ?group:t.group
+      (Printf.sprintf "ratp-rx-%d" t.address)
+      (fun () -> rx_loop t)
 
 let call t ~dst ~service ~size body =
   Sim.sleep t.cfg.proc_cost;
@@ -248,10 +254,13 @@ let call t ~dst ~service ~size body =
   Fun.protect
     ~finally:(fun () -> Tid_table.remove t.clients tid)
     (fun () ->
-      let rec attempt n interval =
+      (* [n] counts attempts against the give-up budget; [sends]
+         counts wire sends, so Busy-path probes register as
+         retransmissions without burning attempts *)
+      let rec attempt ~sends n interval =
         if n > t.cfg.max_attempts then Error Timeout
         else begin
-          if n > 1 then Sim.Stats.incr t.retrans;
+          if sends > 0 then Sim.Stats.incr t.retrans;
           send_fragments t ~dst ~service ~tid ~kind:Packet.Request
             ~total_size:size body;
           match Sim.Mailbox.recv_timeout pc.complete interval with
@@ -266,11 +275,11 @@ let call t ~dst ~service ~size body =
                    burning attempts (deadlock breaking is the
                    caller's job, e.g. abort-after-timeout) *)
                 pc.busy <- false;
-                attempt n interval
+                attempt ~sends:(sends + 1) n interval
               end
               else
-                attempt (n + 1)
+                attempt ~sends:(sends + 1) (n + 1)
                   (int_of_float (float_of_int interval *. t.cfg.retry_backoff))
         end
       in
-      attempt 1 t.cfg.retry_initial)
+      attempt ~sends:0 1 t.cfg.retry_initial)

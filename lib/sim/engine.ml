@@ -205,6 +205,12 @@ let alive t pid =
   | None -> false
   | Some proc -> proc.alive
 
+let procs t =
+  Hashtbl.fold
+    (fun pid proc acc -> if proc.alive then (pid, proc.name) :: acc else acc)
+    t.procs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let step t =
   drop_dead t;
   match Heap.pop t.events with

@@ -58,6 +58,10 @@ val alive : t -> pid -> bool
 (** [alive t pid] is true while the process has neither finished nor
     been killed. *)
 
+val procs : t -> (pid * string) list
+(** Live processes, in pid order.  For debugging and tests (e.g.
+    asserting that a restart did not leak a duplicate daemon). *)
+
 val run : ?until:Time.t -> t -> unit
 (** Drain the event queue, advancing the clock, until it is empty or
     the clock would pass [until].  Uncaught exceptions from processes

@@ -1,12 +1,17 @@
 (* Waiters are callbacks returning true when they consumed the value;
-   a waiter whose timeout already fired returns false and is
-   discarded, letting the value go to the next waiter or back to the
-   queue. *)
+   a waiter whose timeout already fired (or whose process died) is
+   marked dead and skipped, letting the value go to the next waiter
+   or back to the queue.  Dead waiters are purged from the queue when
+   their timeout fires, so a mailbox polled with [recv_timeout] in a
+   retry loop keeps a bounded waiter queue even if it never receives
+   anything. *)
+
+type 'a waiter = { wake : 'a -> bool; mutable dead : bool }
 
 type 'a t = {
   label : string;
   values : 'a Queue.t;
-  waiters : ('a -> bool) Queue.t;
+  waiters : 'a waiter Queue.t;
 }
 
 let create label = { label; values = Queue.create (); waiters = Queue.create () }
@@ -14,16 +19,28 @@ let create label = { label; values = Queue.create (); waiters = Queue.create () 
 let rec offer t v =
   match Queue.take_opt t.waiters with
   | None -> Queue.add v t.values
-  | Some waiter -> if not (waiter v) then offer t v
+  | Some w ->
+      if w.dead then offer t v
+      else if w.wake v then w.dead <- true
+      else begin
+        w.dead <- true;
+        offer t v
+      end
 
 let send t v = offer t v
+
+let purge_dead t =
+  for _ = 1 to Queue.length t.waiters do
+    let w = Queue.pop t.waiters in
+    if not w.dead then Queue.add w t.waiters
+  done
 
 let recv t =
   match Queue.take_opt t.values with
   | Some v -> v
   | None ->
       Engine.Process.suspend t.label (fun wake ->
-          Queue.add (fun v -> wake v) t.waiters)
+          Queue.add { wake = (fun v -> wake v); dead = false } t.waiters)
 
 let recv_timeout t span =
   match Queue.take_opt t.values with
@@ -33,19 +50,29 @@ let recv_timeout t span =
       let deadline = Time.add (Engine.now eng) span in
       Engine.Process.suspend t.label (fun wake ->
           let state = ref `Waiting in
-          Queue.add
-            (fun v ->
-              if !state = `Waiting && wake (Some v) then begin
-                state := `Got;
-                true
-              end
-              else false)
-            t.waiters;
+          let w =
+            {
+              dead = false;
+              wake =
+                (fun v ->
+                  if !state = `Waiting && wake (Some v) then begin
+                    state := `Got;
+                    true
+                  end
+                  else false);
+            }
+          in
+          Queue.add w t.waiters;
           Engine.at eng deadline (fun () ->
               if !state = `Waiting then begin
                 state := `Timeout;
+                w.dead <- true;
+                purge_dead t;
                 ignore (wake None)
               end))
 
 let try_recv t = Queue.take_opt t.values
 let length t = Queue.length t.values
+
+let waiters t =
+  Queue.fold (fun acc w -> if w.dead then acc else acc + 1) 0 t.waiters

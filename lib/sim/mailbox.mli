@@ -20,10 +20,16 @@ val recv : 'a t -> 'a
 
 val recv_timeout : 'a t -> Time.span -> 'a option
 (** [recv_timeout t span] is like {!recv} but returns [None] if
-    nothing arrives within [span]. *)
+    nothing arrives within [span].  A timed-out waiter is purged from
+    the mailbox, so repeated polling does not accumulate state. *)
 
 val try_recv : 'a t -> 'a option
 (** Dequeue without suspending. *)
 
 val length : 'a t -> int
 (** Values currently queued. *)
+
+val waiters : 'a t -> int
+(** Receivers currently waiting (excluding waiters whose timeout
+    already fired).  Exposed so tests can assert the waiter queue
+    stays bounded. *)

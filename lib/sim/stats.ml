@@ -16,8 +16,10 @@ let total s = fold ( +. ) 0.0 s
 
 let mean s = if s.count = 0 then 0.0 else total s /. float_of_int s.count
 
-let min_v s = fold Float.min Float.infinity s
-let max_v s = fold Float.max Float.neg_infinity s
+(* Like [mean], an empty series reports 0.0 rather than an infinity
+   that would leak into reports (and serialize as invalid JSON). *)
+let min_v s = if s.count = 0 then 0.0 else fold Float.min Float.infinity s
+let max_v s = if s.count = 0 then 0.0 else fold Float.max Float.neg_infinity s
 
 let percentile s p =
   if s.count = 0 then invalid_arg "Stats.percentile: empty series";

@@ -16,9 +16,17 @@ val add_span : series -> Time.span -> unit
 (** Record a duration sample, converted to milliseconds. *)
 
 val n : series -> int
+
 val mean : series -> float
+(** 0.0 on an empty series. *)
+
 val min_v : series -> float
+(** Smallest sample; 0.0 on an empty series (never [infinity], which
+    would serialize as invalid JSON). *)
+
 val max_v : series -> float
+(** Largest sample; 0.0 on an empty series (never [neg_infinity]). *)
+
 val total : series -> float
 
 val percentile : series -> float -> float

@@ -122,6 +122,85 @@ let test_detach () =
       Sim.sleep (Time.ms 1);
       check_bool "reattached delivers" true (Nic.try_recv n2 <> None))
 
+let test_duplication () =
+  with_net (fun ether ->
+      let _n1 = Ethernet.attach ether 1 in
+      let n2 = Ethernet.attach ether 2 in
+      let fault = Ethernet.fault ether in
+      Fault.set_link fault 1 2 { Fault.pristine with dup = 1.0 };
+      Ethernet.transmit ether
+        (Frame.make ~src:1 ~dst:(Frame.Unicast 2) ~payload_bytes:10 (Frame.Raw "x"));
+      Sim.sleep (Time.ms 1);
+      check_bool "first copy" true (Nic.try_recv n2 <> None);
+      check_bool "second copy" true (Nic.try_recv n2 <> None);
+      check_bool "no third copy" true (Nic.try_recv n2 = None);
+      check_int "duplicate counted" 1 (Fault.duplicates fault))
+
+let test_delay_jitter () =
+  (* With delay = 1 ms every frame is held back somewhere in (0, 1ms]
+     beyond the fault-free arrival time. *)
+  let fault_free, jittered =
+    with_net (fun ether ->
+        let _n1 = Ethernet.attach ether 1 in
+        let n2 = Ethernet.attach ether 2 in
+        let one_trip () =
+          let t0 = Sim.now () in
+          Ethernet.transmit ether
+            (Frame.make ~src:1 ~dst:(Frame.Unicast 2) ~payload_bytes:10
+               (Frame.Raw "x"));
+          ignore (Nic.recv n2);
+          Time.diff (Sim.now ()) t0
+        in
+        let base = one_trip () in
+        Fault.set_link (Ethernet.fault ether) 1 2
+          { Fault.pristine with delay = Time.ms 1 };
+        (base, one_trip ()))
+  in
+  check_bool "jitter adds delay" true (jittered > fault_free);
+  check_bool "jitter bounded" true (jittered <= fault_free + Time.ms 1)
+
+let test_partition_for () =
+  with_net (fun ether ->
+      let n1 = Ethernet.attach ether 1 in
+      let n2 = Ethernet.attach ether 2 in
+      let fault = Ethernet.fault ether in
+      Fault.partition_for fault 1 2 (Time.ms 10);
+      let send src dst =
+        Ethernet.transmit ether
+          (Frame.make ~src ~dst:(Frame.Unicast dst) ~payload_bytes:10 (Frame.Raw "x"));
+        Sim.sleep (Time.ms 1)
+      in
+      send 1 2;
+      send 2 1;
+      check_bool "cut 1->2" true (Nic.try_recv n2 = None);
+      check_bool "cut 2->1" true (Nic.try_recv n1 = None);
+      Sim.sleep (Time.ms 10);
+      send 1 2;
+      send 2 1;
+      check_bool "healed 1->2" true (Nic.try_recv n2 <> None);
+      check_bool "healed 2->1" true (Nic.try_recv n1 <> None))
+
+let test_filter () =
+  with_net (fun ether ->
+      let _n1 = Ethernet.attach ether 1 in
+      let n2 = Ethernet.attach ether 2 in
+      let fault = Ethernet.fault ether in
+      Fault.set_filter fault (fun ~src:_ ~dst:_ f ->
+          match f.Frame.payload with Frame.Raw "bad" -> false | _ -> true);
+      let send tag =
+        Ethernet.transmit ether
+          (Frame.make ~src:1 ~dst:(Frame.Unicast 2) ~payload_bytes:10 (Frame.Raw tag));
+        Sim.sleep (Time.ms 1)
+      in
+      send "bad";
+      check_bool "filtered out" true (Nic.try_recv n2 = None);
+      check_int "filter drop counted" 1 (Fault.drops fault);
+      send "good";
+      check_bool "others pass" true (Nic.try_recv n2 <> None);
+      Fault.clear_filter fault;
+      send "bad";
+      check_bool "cleared filter delivers" true (Nic.try_recv n2 <> None))
+
 let test_bus_serializes () =
   (* Two senders transmitting 1000-byte frames at once: the second
      frame arrives a full wire-time after the first. *)
@@ -237,6 +316,10 @@ let () =
           Alcotest.test_case "drop all" `Quick test_drop_all;
           Alcotest.test_case "cut and heal" `Quick test_cut_and_heal;
           Alcotest.test_case "detach and reattach" `Quick test_detach;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "delay jitter" `Quick test_delay_jitter;
+          Alcotest.test_case "timed partition" `Quick test_partition_for;
+          Alcotest.test_case "payload filter" `Quick test_filter;
         ] );
       qsuite "props" [ prop_wire_time_monotonic ];
     ]

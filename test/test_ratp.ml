@@ -228,6 +228,92 @@ let test_server_crash_times_out () =
   | Error Endpoint.Timeout -> ()
   | Ok _ -> Alcotest.fail "crashed server must not reply"
 
+let test_restart_single_rx_loop () =
+  (* Regression: [restart] used to spawn a fresh rx loop while the old
+     one kept running, so every restart added a duplicate reader
+     racing for packets. *)
+  let rx_loops, reply =
+    with_pair (fun _ether a b ->
+        serve_echo b;
+        Endpoint.restart b;
+        Endpoint.restart b;
+        let rx_loops =
+          Engine.procs (Sim.engine ())
+          |> List.filter (fun (_, name) -> name = "ratp-rx-2")
+          |> List.length
+        in
+        (rx_loops, Endpoint.call a ~dst:2 ~service:echo_service ~size:5 (Echo "hi")))
+  in
+  check_int "one rx loop after two restarts" 1 rx_loops;
+  match reply with
+  | Ok (Echo "hi!") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "call after restart failed"
+
+let test_selective_fragment_loss () =
+  (* A 4000-byte request fragments into three frames; the middle one
+     is dropped on its first two transmissions.  The call must
+     complete via retransmission, executing the handler once. *)
+  let reply, retrans, executions, drops =
+    with_pair (fun ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            incr count;
+            (body, 16));
+        let dropped = ref 0 in
+        Net.Fault.set_filter (Net.Ethernet.fault ether)
+          (fun ~src:_ ~dst:_ frame ->
+            match frame.Net.Frame.payload with
+            | Packet.Ratp { Packet.kind = Request; frag = 1; _ }
+              when !dropped < 2 ->
+                incr dropped;
+                false
+            | _ -> true);
+        let r =
+          Endpoint.call a ~dst:2 ~service:echo_service ~size:4000 (Blob 16)
+        in
+        ( r,
+          Endpoint.retransmissions a,
+          !count,
+          Net.Fault.drops (Net.Ethernet.fault ether) ))
+  in
+  (match reply with
+  | Ok (Blob 16) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "fragment loss not recovered");
+  check_int "two retransmissions" 2 retrans;
+  check_int "handler executed once" 1 executions;
+  check_int "two frames dropped" 2 drops
+
+let test_busy_does_not_burn_attempts () =
+  (* A slow handler makes the server answer retransmissions with
+     Busy.  Busy probes must not count against the give-up budget:
+     with max_attempts = 3 and a 20 ms initial retry the raw budget is
+     20+40+80 = 140 ms, well short of the 200 ms handler, so this call
+     only succeeds if Busy resets the attempt clock. *)
+  let reply, retrans, txns =
+    Sim.exec (fun () ->
+        let eng = Sim.engine () in
+        let ether = Net.Ethernet.create eng () in
+        let config =
+          {
+            Endpoint.default_config with
+            retry_initial = Time.ms 20;
+            max_attempts = 3;
+          }
+        in
+        let a = Endpoint.create ether ~addr:1 ~config () in
+        let b = Endpoint.create ether ~addr:2 () in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            Sim.sleep (Time.ms 200);
+            (body, 8));
+        let r = Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x") in
+        (r, Endpoint.retransmissions a, Endpoint.transactions a))
+  in
+  (match reply with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "Busy probes must not burn attempts");
+  check_bool "probes recorded as retransmissions" true (retrans >= 3);
+  check_int "still a single transaction" 1 txns
+
 (* ------------------------------------------------------------------ *)
 (* Comparators: the paper's 8K transfer comparison *)
 
@@ -307,6 +393,12 @@ let () =
             test_slow_handler_single_execution;
           Alcotest.test_case "server crash times out" `Quick
             test_server_crash_times_out;
+          Alcotest.test_case "restart keeps a single rx loop" `Quick
+            test_restart_single_rx_loop;
+          Alcotest.test_case "selective fragment loss" `Quick
+            test_selective_fragment_loss;
+          Alcotest.test_case "busy does not burn attempts" `Quick
+            test_busy_does_not_burn_attempts;
         ] );
       ( "comparators",
         [

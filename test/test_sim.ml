@@ -418,6 +418,32 @@ let test_mailbox_value_not_lost_on_timeout () =
   Alcotest.(check (option int)) "timed out first" None (fst r);
   Alcotest.(check (option int)) "value kept" (Some 8) (snd r)
 
+let test_mailbox_waiters_bounded () =
+  (* Regression: a timed-out receiver used to leave its waiter queued
+     forever, so a poll loop grew the queue without bound. *)
+  let max_seen, after, late =
+    Sim.exec (fun () ->
+        let mb = Mailbox.create "mb" in
+        let max_seen = ref 0 in
+        for _ = 1 to 50 do
+          assert (Mailbox.recv_timeout mb (Time.us 100) = None);
+          max_seen := max !max_seen (Mailbox.waiters mb)
+        done;
+        let after = Mailbox.waiters mb in
+        (* A fresh receiver must still get woken by a send: the purge
+           must only discard dead waiters, never live ones. *)
+        let got = ref None in
+        ignore
+          (Sim.spawn "late" (fun () -> got := Some (Mailbox.recv mb)));
+        Sim.yield ();
+        Mailbox.send mb 99;
+        Sim.sleep (Time.us 1);
+        (!max_seen, after, !got))
+  in
+  Alcotest.(check bool) "queue stays bounded" true (max_seen <= 1);
+  check_int "no waiters after timeouts" 0 after;
+  Alcotest.(check (option int)) "live receiver still served" (Some 99) late
+
 let test_mailbox_receivers_fifo () =
   let order =
     Sim.exec (fun () ->
@@ -667,6 +693,15 @@ let test_stats_summary () =
   Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile s 100.0);
   Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile s 50.0)
 
+let test_stats_empty_series () =
+  (* An empty series must summarise to finite values: [infinity] /
+     [neg_infinity] leak into reports as invalid JSON. *)
+  let s = Stats.series "empty" in
+  check_int "n" 0 (Stats.n s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Stats.min_v s);
+  Alcotest.(check (float 0.0)) "max" 0.0 (Stats.max_v s)
+
 let test_stats_counter () =
   let c = Stats.counter "c" in
   Stats.incr c;
@@ -759,6 +794,8 @@ let () =
             test_mailbox_value_not_lost_on_timeout;
           Alcotest.test_case "receivers fifo" `Quick
             test_mailbox_receivers_fifo;
+          Alcotest.test_case "waiter queue bounded" `Quick
+            test_mailbox_waiters_bounded;
         ] );
       ( "semaphore",
         [
@@ -790,6 +827,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty series" `Quick test_stats_empty_series;
           Alcotest.test_case "counter" `Quick test_stats_counter;
         ] );
       qsuite "stats-props" [ prop_stats_mean_bounds ];
