@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments clean
+.PHONY: all build test check faults experiments bench-json clean
 
 all: build
 
@@ -18,6 +18,11 @@ faults:
 
 experiments:
 	dune exec bin/experiments_main.exe
+
+# Machine-readable benchmark baseline (wall-clock + simulated
+# metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.
+bench-json:
+	dune exec bench/main.exe -- --json $(if $(BENCH_QUICK),--quick,)
 
 clean:
 	dune clean

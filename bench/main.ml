@@ -8,7 +8,10 @@
 
    dune exec bench/main.exe            -- tables + bechamel
    dune exec bench/main.exe -- tables  -- reproduction tables only
-   dune exec bench/main.exe -- bench   -- bechamel only *)
+   dune exec bench/main.exe -- bench   -- bechamel only
+   dune exec bench/main.exe -- --json [--quick]
+                                       -- machine-readable baseline:
+                                          writes BENCH_core.json *)
 
 open Bechamel
 open Toolkit
@@ -60,12 +63,12 @@ let bechamel_tests =
              ignore (Experiments.F3_pet.run ~trials:3 ())));
     ]
 
-let run_bechamel () =
-  print_endline "Bechamel: wall-clock cost of each simulated experiment";
-  print_endline "=======================================================";
+(* Wall-clock ms/run for every table/figure, sorted by name so the
+   output order is stable. *)
+let bechamel_estimates ~quota_s () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false
+    Benchmark.cfg ~limit:50 ~quota:(Time.second quota_s) ~stabilize:false
       ~compaction:false ()
   in
   let raw = Benchmark.all cfg instances bechamel_tests in
@@ -73,20 +76,199 @@ let run_bechamel () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name ols_result ->
+  Hashtbl.fold
+    (fun name ols_result acc ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] ->
-          Printf.printf "  %-28s %10.2f ms/run\n" name (est /. 1e6)
-      | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
-    results;
+      | Some [ est ] -> (name, est /. 1e6) :: acc
+      | Some _ | None -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run_bechamel () =
+  print_endline "Bechamel: wall-clock cost of each simulated experiment";
+  print_endline "=======================================================";
+  List.iter
+    (fun (name, ms) -> Printf.printf "  %-28s %10.2f ms/run\n" name ms)
+    (bechamel_estimates ~quota_s:2.0 ());
   print_newline ()
 
+(* --- machine-readable baseline (BENCH_core.json) -------------------- *)
+
+(* Hand-rolled JSON: the container has no JSON library and the format
+   below is flat enough not to need one.  All simulated metrics come
+   from fixed-seed simulations and are printed with a fixed precision,
+   so two runs of the same binary produce a byte-identical
+   ["simulated"] object; only ["wall_clock"] varies between hosts. *)
+
+let j_num v = Printf.sprintf "%.6f" v
+let j_int = string_of_int
+let j_str s = Printf.sprintf "%S" s
+let j_field k v = Printf.sprintf "%S: %s" k v
+let j_obj fields = "{" ^ String.concat ", " fields ^ "}"
+let j_arr items = "[" ^ String.concat ", " items ^ "]"
+
+let simulated_metrics ~quick =
+  let t1 = Experiments.T1_kernel.run ~samples:(if quick then 20 else 100) () in
+  let t2 = Experiments.T2_network.run ~samples:(if quick then 10 else 50) () in
+  let t3 =
+    Experiments.T3_invocation.run ~invocations:(if quick then 50 else 200) ()
+  in
+  let f1 =
+    Experiments.F1_sort.run
+      ~elements:(if quick then 8_192 else 16_384)
+      ~worker_counts:[ 1; 2; 4; 8 ] ()
+  in
+  let f2 = Experiments.F2_consistency.run ~samples:(if quick then 9 else 30) () in
+  let f3 = Experiments.F3_pet.run ~trials:(if quick then 8 else 25) () in
+  let wf =
+    Experiments.Write_fault_fanout.run
+      ~sizes:(if quick then [ 1; 4; 8 ] else [ 1; 4; 8; 16 ])
+      ()
+  in
+  let fanout_points ps =
+    j_arr
+      (List.map
+         (fun p ->
+           let open Experiments.Write_fault_fanout in
+           j_obj
+             [
+               j_field "copyset" (j_int p.copyset);
+               j_field "suspects" (j_int p.suspects);
+               j_field "serial_ms" (j_num p.serial_ms);
+               j_field "parallel_ms" (j_num p.parallel_ms);
+             ])
+         ps)
+  in
+  j_obj
+    [
+      j_field "t1_kernel"
+        (j_obj
+           [
+             j_field "context_switch_ms" (j_num t1.Experiments.T1_kernel.context_switch_ms);
+             j_field "fault_zero_fill_ms" (j_num t1.fault_zero_fill_ms);
+             j_field "fault_data_ms" (j_num t1.fault_data_ms);
+             j_field "samples" (j_int t1.samples);
+           ]);
+      j_field "t2_network"
+        (j_obj
+           [
+             j_field "eth_rtt_ms" (j_num t2.Experiments.T2_network.eth_rtt_ms);
+             j_field "ratp_rtt_ms" (j_num t2.ratp_rtt_ms);
+             j_field "page_ratp_ms" (j_num t2.page_ratp_ms);
+             j_field "page_ftp_ms" (j_num t2.page_ftp_ms);
+             j_field "page_nfs_ms" (j_num t2.page_nfs_ms);
+             j_field "samples" (j_int t2.samples);
+           ]);
+      j_field "t3_invocation"
+        (j_obj
+           [
+             j_field "warm_ms" (j_num t3.Experiments.T3_invocation.warm_ms);
+             j_field "cold_ms" (j_num t3.cold_ms);
+             j_field "locality_avg_ms" (j_num t3.locality_avg_ms);
+           ]);
+      j_field "f1_sort"
+        (j_obj
+           [
+             j_field "elements" (j_int f1.Experiments.F1_sort.elements);
+             j_field "points"
+               (j_arr
+                  (List.map
+                     (fun p ->
+                       j_obj
+                         [
+                           j_field "workers" (j_int p.Experiments.F1_sort.workers);
+                           j_field "total_ms" (j_num p.total_ms);
+                           j_field "speedup" (j_num p.speedup);
+                           j_field "page_moves" (j_int p.page_moves);
+                         ])
+                     f1.points));
+           ]);
+      j_field "f2_consistency"
+        (j_obj
+           [
+             j_field "modes"
+               (j_arr
+                  (List.map
+                     (fun m ->
+                       j_obj
+                         [
+                           j_field "mode" (j_str m.Experiments.F2_consistency.mode);
+                           j_field "mean_ms" (j_num m.mean_ms);
+                           j_field "throughput_per_s" (j_num m.throughput_per_s);
+                           j_field "lock_rpcs" (j_int m.lock_rpcs);
+                         ])
+                     f2.Experiments.F2_consistency.modes));
+             j_field "spans"
+               (j_arr
+                  (List.map
+                     (fun s ->
+                       j_obj
+                         [
+                           j_field "objects_touched"
+                             (j_int s.Experiments.F2_consistency.objects_touched);
+                           j_field "servers_involved" (j_int s.servers_involved);
+                           j_field "mean_ms" (j_num s.mean_ms);
+                         ])
+                     f2.spans));
+           ]);
+      j_field "f3_pet"
+        (j_obj
+           [
+             j_field "replicas" (j_int f3.Experiments.F3_pet.replicas);
+             j_field "quorum" (j_int f3.quorum);
+             j_field "points"
+               (j_arr
+                  (List.map
+                     (fun p ->
+                       j_obj
+                         [
+                           j_field "parallel" (j_int p.Experiments.F3_pet.parallel);
+                           j_field "completion_rate" (j_num p.completion_rate);
+                           j_field "mean_thread_ms" (j_num p.mean_thread_ms);
+                         ])
+                     f3.points));
+           ]);
+      j_field "write_fault_fanout"
+        (j_obj
+           [
+             j_field "rtt_ms" (j_num wf.Experiments.Write_fault_fanout.rtt_ms);
+             j_field "baseline_ms" (j_num wf.baseline_ms);
+             j_field "healthy" (fanout_points wf.healthy);
+             j_field "suspected" (fanout_points wf.suspected);
+           ]);
+    ]
+
+let write_json ~quick path =
+  let simulated = simulated_metrics ~quick in
+  let wall =
+    bechamel_estimates ~quota_s:(if quick then 0.5 else 2.0) ()
+    |> List.map (fun (name, ms) ->
+           j_obj [ j_field "name" (j_str name); j_field "ms_per_run" (j_num ms) ])
+  in
+  let doc =
+    j_obj
+      [
+        j_field "schema" (j_str "clouds-bench/v1");
+        j_field "seed" (j_int 42);
+        j_field "quick" (string_of_bool quick);
+        j_field "simulated" simulated;
+        j_field "wall_clock" (j_arr wall);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%s sizes)\n" path (if quick then "quick" else "full")
+
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match mode with
-  | "tables" -> reproduction_tables ()
-  | "bench" -> run_bechamel ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.exists (fun a -> a = "--quick" || a = "quick") args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "quick") args in
+  match args with
+  | [ "tables" ] -> reproduction_tables ()
+  | [ "bench" ] -> run_bechamel ()
+  | [ "--json" ] | [ "json" ] -> write_json ~quick "BENCH_core.json"
   | _ ->
       reproduction_tables ();
       run_bechamel ()

@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let all_ids = [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "faults"; "ablations" ]
+let all_ids =
+  [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "fanout"; "faults"; "ablations" ]
 
 let run_one ~quick id =
   match id with
@@ -34,6 +35,11 @@ let run_one ~quick id =
   | "f3" ->
       let trials = if quick then 8 else 25 in
       print_string (Experiments.F3_pet.report (Experiments.F3_pet.run ~trials ()))
+  | "fanout" | "wf" ->
+      let sizes = if quick then [ 1; 4; 8 ] else [ 1; 4; 8; 16 ] in
+      print_string
+        (Experiments.Write_fault_fanout.report
+           (Experiments.Write_fault_fanout.run ~sizes ()))
   | "faults" ->
       let outcomes = Experiments.Faults.run_all () in
       print_string (Experiments.Faults.report outcomes);

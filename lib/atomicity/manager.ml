@@ -28,6 +28,9 @@ type state = {
 type t = {
   om : Clouds.Object_manager.t;
   cl : Cl.t;
+  parallel_commit : bool;
+      (* fan 2PC prepare/commit/abort RPCs out to all participants
+         concurrently; serial mode survives for A/B experiments *)
   txns : (int * int, state) Hashtbl.t;
   outcomes : (int * int, bool) Hashtbl.t;  (* true = committed *)
   by_pid : (int, state) Hashtbl.t;
@@ -73,6 +76,16 @@ let dsm_rpc node ~dst body =
   Ratp.Endpoint.call node.Ra.Node.endpoint ~dst ~service:P.service
     ~size:(P.request_bytes body) body
 
+(* One RPC per participant, all in flight at once: 2PC needs every
+   participant's answer but no ordering between participants, so each
+   phase costs one round trip (or one timeout) regardless of how many
+   data servers the transaction spans.  Results come back in input
+   order, so vote counting and error handling stay deterministic. *)
+let participant_rpcs t node msgs =
+  let send (dst, body) = dsm_rpc node ~dst body in
+  if t.parallel_commit then Sim.Fanout.map msgs ~label:"2pc-rpc" ~f:send
+  else List.map send msgs
+
 (* --- rollback ------------------------------------------------------ *)
 
 (* RPCs about a transaction must come from a live machine: the
@@ -101,10 +114,9 @@ let send_abort_everywhere t st =
           st.write_segs)
   in
   List.iter
-    (fun home ->
-      match dsm_rpc origin ~dst:home (P.Abort { txn = st.txn }) with
-      | Ok _ | Error Ratp.Endpoint.Timeout -> ())
-    homes
+    (fun r -> match r with Ok _ | Error Ratp.Endpoint.Timeout -> ())
+    (participant_rpcs t origin
+       (List.map (fun home -> (home, P.Abort { txn = st.txn })) homes))
 
 let rollback t st =
   if not st.rolled then begin
@@ -291,14 +303,15 @@ let commit t st =
   match st.scope with
   | Global ->
       let all_yes =
-        List.for_all
-          (fun (home, writes) ->
-            match
-              dsm_rpc st.coord ~dst:home (P.Prepare { txn = st.txn; writes })
-            with
-            | Ok (P.Vote true) -> true
-            | Ok _ | Error Ratp.Endpoint.Timeout -> false)
-          grouped
+        participant_rpcs t st.coord
+          (List.map
+             (fun (home, writes) ->
+               (home, P.Prepare { txn = st.txn; writes }))
+             grouped)
+        |> List.for_all (fun vote ->
+               match vote with
+               | Ok (P.Vote true) -> true
+               | Ok _ | Error Ratp.Endpoint.Timeout -> false)
       in
       if not all_yes then begin
         st.status <- Rolling_back;
@@ -317,21 +330,21 @@ let commit t st =
           (List.map fst grouped @ st.lock_servers)
       in
       List.iter
-        (fun home ->
-          match dsm_rpc st.coord ~dst:home (P.Commit { txn = st.txn }) with
-          | Ok _ | Error Ratp.Endpoint.Timeout -> ())
-        involved;
+        (fun r -> match r with Ok _ | Error Ratp.Endpoint.Timeout -> ())
+        (participant_rpcs t st.coord
+           (List.map (fun home -> (home, P.Commit { txn = st.txn })) involved));
       st.status <- Finished;
       Sim.Stats.incr t.commit_count
   | Local ->
       List.iter
-        (fun (home, writes) ->
-          match dsm_rpc st.coord ~dst:home (P.Put_batch writes) with
+        (fun r ->
+          match r with
           | Ok P.Batch_ok -> ()
           | Ok _ | Error Ratp.Endpoint.Timeout ->
               st.status <- Rolling_back;
               raise Txn_abort_signal)
-        grouped;
+        (participant_rpcs t st.coord
+           (List.map (fun (home, writes) -> (home, P.Put_batch writes)) grouped));
       mark_all_clean frames;
       List.iter
         (fun node ->
@@ -433,12 +446,14 @@ let wrapper t label (ctx : Clouds.Ctx.t) body =
 
 (* --- installation --------------------------------------------------- *)
 
-let install om ?(deadlock_timeout = Sim.Time.sec 5) ?(max_retries = 3) () =
+let install om ?(deadlock_timeout = Sim.Time.sec 5) ?(max_retries = 3)
+    ?(parallel_commit = true) () =
   let cl = Clouds.Object_manager.cluster om in
   let t =
     {
       om;
       cl;
+      parallel_commit;
       txns = Hashtbl.create 32;
       outcomes = Hashtbl.create 64;
       by_pid = Hashtbl.create 32;

@@ -34,11 +34,17 @@ val install :
   Clouds.Object_manager.t ->
   ?deadlock_timeout:Sim.Time.span ->
   ?max_retries:int ->
+  ?parallel_commit:bool ->
   unit ->
   t
 (** Hook the cluster.  [deadlock_timeout] (default 5 s simulated)
     bounds lock waits before an abort; [max_retries] (default 3)
-    bounds automatic re-execution of an aborted entry body. *)
+    bounds automatic re-execution of an aborted entry body.
+    [parallel_commit] (default [true]) issues each two-phase-commit
+    phase — prepare, commit, abort, and local-consistency batch
+    pushes — to all participant data servers concurrently, so a phase
+    costs one round trip regardless of transaction span; [false]
+    keeps one blocking RPC per participant, for A/B experiments. *)
 
 val object_manager : t -> Clouds.Object_manager.t
 (** The object manager this instance hooks. *)

@@ -14,6 +14,10 @@ end)
 
 type t = {
   node : Ra.Node.t;
+  parallel_coherence : bool;
+      (* fan coherence RPCs out concurrently (one round trip per
+         write fault) instead of one blocking RPC per copyset member;
+         the serial mode survives for A/B experiments *)
   store : Store.Segment_store.t;
   disk : Store.Disk.t;
   wal : Store.Wal.t;
@@ -62,24 +66,21 @@ let call_client t ~dst body =
   Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.client_service
     ~size:(P.request_bytes body) body
 
-(* Pull the current contents of a page back from its owner (dirty
-   write copy) into the store, demoting or dropping the owner's
-   frame.  A dead owner simply times out and the store copy stands
-   (its unwritten updates are lost, which is correct crash
-   semantics for non-committed data). *)
-let recall t key ~(drop : bool) =
+(* Read fault: pull the current contents of a page back from its
+   owner (dirty write copy) into the store, demoting the owner's
+   frame to a read copy.  A single peer, so nothing to fan out.  A
+   dead owner simply times out and the store copy stands (its
+   unwritten updates are lost, which is correct crash semantics for
+   non-committed data). *)
+let recall t key =
   let seg, page = key in
   let st = owner_state t key in
-  (match st.owner with
+  match st.owner with
   | None -> ()
   | Some w ->
-      let msg =
-        if drop then P.Invalidate { seg; page } else P.Downgrade { seg; page }
-      in
-      (if drop then Sim.Stats.incr t.invals else Sim.Stats.incr t.downs);
+      Sim.Stats.incr t.downs;
       (if not (Hashtbl.mem t.suspects w) then
-         match call_client t ~dst:w msg with
-         | Ok (P.Invalidated { dirty = Some d })
+         match call_client t ~dst:w (P.Downgrade { seg; page }) with
          | Ok (P.Downgraded { dirty = Some d }) ->
              Store.Segment_store.write_page t.store seg page d
          | Ok _ -> ()
@@ -88,22 +89,54 @@ let recall t key ~(drop : bool) =
                 waiting on it until it speaks to us again *)
              Hashtbl.replace t.suspects w ());
       st.owner <- None;
-      if not drop then
-        if not (List.mem w st.copyset) then st.copyset <- w :: st.copyset)
+      if not (List.mem w st.copyset) then st.copyset <- w :: st.copyset
 
-let drop_readers t key ~except =
+(* The write-fault path: pull back the owner's (possibly dirty) copy
+   and invalidate every read copy.  The protocol needs each peer's
+   answer but no ordering between peers, so all RPCs go out in one
+   concurrent fan-out (Li–Hudak permits it: every target ends up
+   invalid either way) and a write fault costs one round trip — or
+   one retry-timeout, paid once, when suspects are present — instead
+   of one per copyset member.
+
+   Determinism: targets are fixed (sorted) before the fan-out, the
+   invalidation counter is bumped before any RPC is issued, and
+   replies are folded into [suspects] in target order at the join. *)
+let invalidate_copies t key ~except =
   let seg, page = key in
   let st = owner_state t key in
-  List.iter
-    (fun c ->
-      if (not (Net.Address.equal c except)) && not (Hashtbl.mem t.suspects c)
-      then begin
+  let owner_target =
+    match st.owner with
+    | Some w when not (Net.Address.equal w except) ->
         Sim.Stats.incr t.invals;
-        match call_client t ~dst:c (P.Invalidate { seg; page }) with
-        | Ok _ -> ()
-        | Error Ratp.Endpoint.Timeout -> Hashtbl.replace t.suspects c ()
-      end)
-    (List.sort Net.Address.compare st.copyset);
+        if Hashtbl.mem t.suspects w then [] else [ w ]
+    | Some _ | None -> []
+  in
+  let reader_targets =
+    List.sort Net.Address.compare st.copyset
+    |> List.filter (fun c ->
+           if Net.Address.equal c except || Hashtbl.mem t.suspects c then false
+           else begin
+             Sim.Stats.incr t.invals;
+             true
+           end)
+  in
+  let invalidate peer = (peer, call_client t ~dst:peer (P.Invalidate { seg; page })) in
+  let targets = owner_target @ reader_targets in
+  let replies =
+    if t.parallel_coherence then
+      Sim.Fanout.map targets ~label:"dsm-inval" ~f:invalidate
+    else List.map invalidate targets
+  in
+  List.iter
+    (fun (peer, reply) ->
+      match reply with
+      | Ok (P.Invalidated { dirty = Some d }) ->
+          Store.Segment_store.write_page t.store seg page d
+      | Ok _ -> ()
+      | Error Ratp.Endpoint.Timeout -> Hashtbl.replace t.suspects peer ())
+    replies;
+  st.owner <- None;
   st.copyset <- List.filter (Net.Address.equal except) st.copyset
 
 let warm_segment t seg =
@@ -124,8 +157,7 @@ let handle_get t ~src seg page mode =
         (match mode with
         | Ra.Partition.Read ->
             (match st.owner with
-            | Some w when not (Net.Address.equal w src) ->
-                recall t key ~drop:false
+            | Some w when not (Net.Address.equal w src) -> recall t key
             | Some _ ->
                 (* the owner itself re-reads after losing its frame *)
                 st.owner <- None
@@ -133,11 +165,7 @@ let handle_get t ~src seg page mode =
             if not (List.mem src st.copyset) then
               st.copyset <- src :: st.copyset
         | Ra.Partition.Write ->
-            (match st.owner with
-            | Some w when not (Net.Address.equal w src) ->
-                recall t key ~drop:true
-            | Some _ | None -> ());
-            drop_readers t key ~except:src;
+            invalidate_copies t key ~except:src;
             st.owner <- Some src;
             st.copyset <- []);
         Sim.Stats.incr t.served;
@@ -227,8 +255,7 @@ let handle t ~src body =
             Sim.Mutex.with_lock
               (page_mutex t (seg, page))
               (fun () ->
-                recall t (seg, page) ~drop:true;
-                drop_readers t (seg, page) ~except:(-1);
+                invalidate_copies t (seg, page) ~except:(-1);
                 Store.Segment_store.write_page t.store seg page data))
         writes;
       P.Batch_ok
@@ -268,7 +295,8 @@ let handle t ~src body =
   | P.List_objects -> P.Objects (Store.Directory.objects t.directory)
   | _ -> P.Page_error
 
-let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60) () =
+let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
+    ?(parallel_coherence = true) () =
   let disk =
     Store.Disk.create ?config:disk_config
       (Printf.sprintf "disk-%d" node.Ra.Node.id)
@@ -276,6 +304,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60) () =
   let t =
     {
       node;
+      parallel_coherence;
       store =
         Store.Segment_store.create (Printf.sprintf "store-%d" node.Ra.Node.id);
       disk;

@@ -16,11 +16,20 @@ val create :
   Ra.Node.t ->
   ?disk_config:Store.Disk.config ->
   ?presume_abort_after:Sim.Time.span ->
+  ?parallel_coherence:bool ->
   unit ->
   t
 (** Install the DSM service on a data-server node.  State in
     {!Store.Segment_store} and {!Store.Wal} survives crashes;
-    ownership, locks and prepared-transaction tables are volatile. *)
+    ownership, locks and prepared-transaction tables are volatile.
+
+    [parallel_coherence] (default [true]) issues the write-fault
+    invalidations — owner recall plus every copyset member — as one
+    concurrent fan-out, so a write fault costs one round trip
+    regardless of copyset size; [false] keeps the historical one
+    blocking RPC per member, for A/B latency experiments
+    ({!Experiments.Write_fault_fanout}).  Both modes leave identical
+    owner/copyset state and identical counters. *)
 
 val node : t -> Ra.Node.t
 val store : t -> Store.Segment_store.t

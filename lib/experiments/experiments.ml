@@ -15,3 +15,4 @@ module F2_consistency = F2_consistency
 module F3_pet = F3_pet
 module Faults = Faults
 module Ablations = Ablations
+module Write_fault_fanout = Write_fault_fanout

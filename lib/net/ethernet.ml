@@ -98,17 +98,24 @@ let deliver t (frame : Frame.t) =
       in
       List.iter deliver_to (List.sort Address.compare addrs)
 
-let transmit t (frame : Frame.t) =
+let host_send_cost cfg (frame : Frame.t) =
+  cfg.send_cost_per_frame + (cfg.cost_per_byte_ns * frame.bytes)
+
+let transmit_prepared t (frame : Frame.t) =
   if frame.bytes - Frame.header_bytes > t.cfg.mtu_payload then
     invalid_arg "Ethernet.transmit: payload exceeds MTU";
-  Sim.sleep
-    (t.cfg.send_cost_per_frame + (t.cfg.cost_per_byte_ns * frame.bytes));
   Sim.Mutex.with_lock t.bus (fun () ->
       Sim.sleep (wire_time t.cfg frame.bytes);
       Sim.Stats.incr t.frames;
       Sim.Stats.incr_by t.bytes frame.bytes;
       let arrival = Sim.Time.add (Sim.now ()) t.cfg.propagation in
       Sim.Engine.at t.eng arrival (fun () -> deliver t frame))
+
+let transmit t (frame : Frame.t) =
+  if frame.bytes - Frame.header_bytes > t.cfg.mtu_payload then
+    invalid_arg "Ethernet.transmit: payload exceeds MTU";
+  Sim.sleep (host_send_cost t.cfg frame);
+  transmit_prepared t frame
 
 let frames_sent t = Sim.Stats.value t.frames
 let bytes_sent t = Sim.Stats.value t.bytes

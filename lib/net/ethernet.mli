@@ -48,6 +48,15 @@ val transmit : t -> Frame.t -> unit
     delivery.  Raises [Invalid_argument] if the payload exceeds the
     MTU. *)
 
+val transmit_prepared : t -> Frame.t -> unit
+(** Like {!transmit} but without charging the sender's host cost: for
+    tx loops that overlap the driver cost of fragment [i+1] with the
+    wire time of fragment [i] and account for it themselves
+    ({!host_send_cost}). *)
+
+val host_send_cost : config -> Frame.t -> Sim.Time.span
+(** Sender-side driver cost {!transmit} charges for a frame. *)
+
 val wire_time : config -> int -> Sim.Time.span
 (** [wire_time cfg bytes] is bus occupancy for a frame of that size. *)
 

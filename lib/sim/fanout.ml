@@ -1,0 +1,43 @@
+(* Concurrent fan-out with a deterministic join.
+
+   Workers are spawned in list order, so their first events enter the
+   engine queue in list order; the join reads their ivars in the same
+   order.  Both orders are fixed by the input list, which makes a
+   fan-out exactly as reproducible as the serial loop it replaces:
+   two runs with the same engine seed interleave identically.
+
+   Workers inherit the caller's group, so a machine crash
+   (kill_group) takes the whole fan-out down with the process that
+   started it.  A worker killed from a *different* group would leave
+   the join suspended forever, surfacing as an engine deadlock —
+   callers fanning out across groups should not exist in this
+   codebase (RPC timeouts, not process death, are how peer failure is
+   reported). *)
+
+let map ?(label = "fanout") xs ~f =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ] (* nothing to overlap; skip the spawn *)
+  | xs ->
+      let cells =
+        List.map
+          (fun x ->
+            let cell = Ivar.create () in
+            ignore
+              (Engine.Process.spawn label (fun () ->
+                   let r =
+                     match f x with
+                     | v -> Ok v
+                     | exception Engine.Killed -> raise Engine.Killed
+                     | exception e -> Error e
+                   in
+                   Ivar.fill cell r));
+            cell)
+          xs
+      in
+      List.map
+        (fun cell ->
+          match Ivar.read cell with Ok v -> v | Error e -> raise e)
+        cells
+
+let iter ?label xs ~f = ignore (map ?label xs ~f:(fun x : unit -> f x))

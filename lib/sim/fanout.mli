@@ -1,0 +1,24 @@
+(** Concurrent fan-out with a deterministic join.
+
+    The building block for protocol steps that talk to many peers at
+    once — coherence invalidation, two-phase-commit prepare/commit —
+    where the serial cost O(peers × RTT) is pure waste: the protocol
+    needs every peer's answer, not any ordering between peers. *)
+
+val map : ?label:string -> 'a list -> f:('a -> 'b) -> 'b list
+(** [map xs ~f] runs [f x] for every element concurrently, each in a
+    freshly spawned process (inheriting the caller's group), and
+    waits for all of them; results are returned in input order.
+    Workers are spawned, and joined, in list order, so a fan-out is
+    deterministic for a fixed input list and engine seed.  An
+    exception raised by a worker is re-raised at the join (the first
+    failing element in list order wins).  A singleton or empty list
+    runs inline without spawning.
+
+    Must be called from within a process.  Total elapsed time is the
+    maximum over the workers, not the sum — with [n] suspects each
+    costing a full RPC-retry timeout, the fan-out costs one timeout,
+    not [n]. *)
+
+val iter : ?label:string -> 'a list -> f:('a -> unit) -> unit
+(** [map], for effects only. *)

@@ -10,6 +10,7 @@ module Condition = Condition
 module Rwlock = Rwlock
 module Stats = Stats
 module Trace = Trace
+module Fanout = Fanout
 
 exception Killed = Engine.Killed
 

@@ -19,6 +19,7 @@ module Condition = Condition
 module Rwlock = Rwlock
 module Stats = Stats
 module Trace = Trace
+module Fanout = Fanout
 
 exception Killed
 (** Alias of {!Engine.Killed}. *)

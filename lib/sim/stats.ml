@@ -1,31 +1,61 @@
-type series = { s_name : string; mutable samples : float list; mutable count : int }
+(* Samples live in a growable float array (amortized O(1) add, no
+   per-sample boxing).  Order statistics (percentile, min, max) read
+   a sorted copy that is computed once and cached until the next
+   [add]: a report that asks for several percentiles of a 10k-sample
+   series pays for one sort, not one per call. *)
 
-let series s_name = { s_name; samples = []; count = 0 }
+type series = {
+  s_name : string;
+  mutable data : float array;  (* samples live in data.[0 .. count-1] *)
+  mutable count : int;
+  mutable sorted : float array option;  (* cache; invalidated by add *)
+}
+
+let series s_name = { s_name; data = [||]; count = 0; sorted = None }
 
 let add s x =
-  s.samples <- x :: s.samples;
-  s.count <- s.count + 1
+  if s.count = Array.length s.data then begin
+    let grown = Array.make (max 16 (2 * s.count)) 0.0 in
+    Array.blit s.data 0 grown 0 s.count;
+    s.data <- grown
+  end;
+  s.data.(s.count) <- x;
+  s.count <- s.count + 1;
+  s.sorted <- None
 
 let add_span s span = add s (Time.to_ms_f span)
 
 let n s = s.count
 
-let fold f init s = List.fold_left f init s.samples
+let fold f init s =
+  let acc = ref init in
+  for i = 0 to s.count - 1 do
+    acc := f !acc s.data.(i)
+  done;
+  !acc
 
 let total s = fold ( +. ) 0.0 s
 
 let mean s = if s.count = 0 then 0.0 else total s /. float_of_int s.count
 
+let sorted s =
+  match s.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub s.data 0 s.count in
+      Array.sort Float.compare a;
+      s.sorted <- Some a;
+      a
+
 (* Like [mean], an empty series reports 0.0 rather than an infinity
    that would leak into reports (and serialize as invalid JSON). *)
-let min_v s = if s.count = 0 then 0.0 else fold Float.min Float.infinity s
-let max_v s = if s.count = 0 then 0.0 else fold Float.max Float.neg_infinity s
+let min_v s = if s.count = 0 then 0.0 else (sorted s).(0)
+let max_v s = if s.count = 0 then 0.0 else (sorted s).(s.count - 1)
 
 let percentile s p =
   if s.count = 0 then invalid_arg "Stats.percentile: empty series";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: bad percentile";
-  let sorted = List.sort Float.compare s.samples in
-  let arr = Array.of_list sorted in
+  let arr = sorted s in
   let idx = p /. 100.0 *. float_of_int (s.count - 1) in
   let lo = int_of_float idx in
   let hi = min (lo + 1) (s.count - 1) in

@@ -485,6 +485,113 @@ let test_server_crash_recovery () =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent coherence fan-out *)
+
+type fanout_obs = {
+  fo_owner : Net.Address.t option;
+  fo_copyset : Net.Address.t list;
+  fo_invals : int;
+  fo_downs : int;
+  fo_stale : int;  (** readers still holding a frame after the write *)
+  fo_retrans : int;  (** server-endpoint retransmissions *)
+  fo_end_ms : float;  (** simulated completion time *)
+}
+
+(* [k] readers pull a read copy of page 0 through their MMUs, then a
+   separate writer faults it for write; optionally the first reader
+   reads again afterwards (recall/downgrade path).  [drop] installs
+   uniform frame loss for the duration of the write fault. *)
+let fanout_scenario ?(seed = 42) ?(drop = 0.0) ?(reread = false) ~parallel
+    ~readers:k () =
+  Sim.exec ~seed (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      (* default RaTP config: under loss the retransmission budget,
+         not the test, is what makes invalidations reliable *)
+      let nd = Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data () in
+      let server = Dsm.Dsm_server.create nd ~parallel_coherence:parallel () in
+      let locate _ = 1 in
+      let mk id =
+        let n = Ra.Node.create ether ~id ~kind:Ra.Node.Compute () in
+        ignore (Dsm.Dsm_client.create n ~locate ());
+        n
+      in
+      let rnodes = List.init k (fun i -> mk (10 + i)) in
+      let wn = mk 9 in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment
+        (Dsm.Dsm_server.store server)
+        seg ~size:Ra.Page.size;
+      let vs = vspace_for seg ~pages:1 in
+      List.iter (fun n -> ignore (read n vs ~addr:0 ~len:4)) rnodes;
+      Net.Fault.set_drop_probability (Net.Ethernet.fault ether) drop;
+      write wn vs ~addr:0 "fresh";
+      Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.0;
+      if reread then
+        Alcotest.(check string)
+          "reader sees committed write" "fresh"
+          (read (List.hd rnodes) vs ~addr:0 ~len:5);
+      let fo_stale =
+        List.length
+          (List.filter
+             (fun n ->
+               (not (reread && n == List.hd rnodes))
+               && Ra.Mmu.resident n.Ra.Node.mmu seg 0 <> None)
+             rnodes)
+      in
+      {
+        fo_owner = Dsm.Dsm_server.owner_of server seg 0;
+        fo_copyset = Dsm.Dsm_server.copyset_of server seg 0;
+        fo_invals = Dsm.Dsm_server.invalidations_sent server;
+        fo_downs = Dsm.Dsm_server.downgrades_sent server;
+        fo_stale;
+        fo_retrans = Ratp.Endpoint.retransmissions nd.Ra.Node.endpoint;
+        fo_end_ms = Sim.Time.to_ms_f (Sim.now ());
+      })
+
+let test_fanout_serial_parallel_equivalent () =
+  List.iter
+    (fun reread ->
+      let s = fanout_scenario ~parallel:false ~readers:4 ~reread () in
+      let p = fanout_scenario ~parallel:true ~readers:4 ~reread () in
+      check_bool "same owner" true (s.fo_owner = p.fo_owner);
+      Alcotest.(check (list int)) "same copyset" s.fo_copyset p.fo_copyset;
+      check_int "same invalidations" s.fo_invals p.fo_invals;
+      check_int "same downgrades" s.fo_downs p.fo_downs;
+      check_int "no stale reader either way" 0 (s.fo_stale + p.fo_stale);
+      check_bool "parallel is no slower" true (p.fo_end_ms <= s.fo_end_ms))
+    [ false; true ];
+  (* and the expected absolute state after the plain write *)
+  let p = fanout_scenario ~parallel:true ~readers:4 () in
+  check_bool "writer owns" true (p.fo_owner = Some 9);
+  Alcotest.(check (list int)) "copyset cleared" [] p.fo_copyset;
+  check_int "one invalidation per reader" 4 p.fo_invals
+
+let test_fanout_same_seed_deterministic () =
+  (* identical seeds must replay the identical simulation, including
+     the loss schedule and every retransmission, even with the
+     concurrent fan-out in play *)
+  let a = fanout_scenario ~seed:7 ~drop:0.25 ~parallel:true ~readers:3 () in
+  let b = fanout_scenario ~seed:7 ~drop:0.25 ~parallel:true ~readers:3 () in
+  check_bool "same owner" true (a.fo_owner = b.fo_owner);
+  Alcotest.(check (list int)) "same copyset" a.fo_copyset b.fo_copyset;
+  check_int "same invalidations" a.fo_invals b.fo_invals;
+  check_int "same retransmissions" a.fo_retrans b.fo_retrans;
+  Alcotest.(check (float 0.0)) "same completion time" a.fo_end_ms b.fo_end_ms
+
+let test_fanout_invalidation_survives_loss () =
+  (* frame loss during the invalidation burst: RaTP retransmission
+     must still deliver every invalidation before the write is
+     granted — no reader may keep a stale frame *)
+  let r =
+    fanout_scenario ~seed:11 ~drop:0.25 ~parallel:true ~readers:4 ~reread:true
+      ()
+  in
+  check_int "no stale reader survives the write" 0 r.fo_stale;
+  check_int "every reader was invalidated" 4 r.fo_invals;
+  check_bool "loss forced retransmissions" true (r.fo_retrans > 0)
+
 let () =
   Alcotest.run "dsm"
     [
@@ -506,6 +613,15 @@ let () =
             test_owner_crash_recovers_stored_state;
           Alcotest.test_case "write contention converges" `Quick
             test_write_contention_converges;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "serial/parallel equivalent" `Quick
+            test_fanout_serial_parallel_equivalent;
+          Alcotest.test_case "same seed deterministic" `Quick
+            test_fanout_same_seed_deterministic;
+          Alcotest.test_case "invalidation survives loss" `Quick
+            test_fanout_invalidation_survives_loss;
         ] );
       qsuite "coherence-props" [ prop_one_copy_semantics ];
       ( "locks",

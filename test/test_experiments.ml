@@ -103,6 +103,31 @@ let test_f3_shape () =
         (p3.mean_thread_ms > p1.mean_thread_ms)
   | _ -> Alcotest.fail "expected two points"
 
+let test_fanout_latency () =
+  let r = Experiments.Write_fault_fanout.run ~sizes:[ 8 ] () in
+  let open Experiments.Write_fault_fanout in
+  match (r.healthy, r.suspected) with
+  | [ h ], [ s ] ->
+      check_bool
+        (Printf.sprintf "parallel overhead %.2f <= 2 rtt (%.2f)"
+           (h.parallel_ms -. r.baseline_ms)
+           (2.0 *. r.rtt_ms))
+        true
+        (h.parallel_ms -. r.baseline_ms <= 2.0 *. r.rtt_ms);
+      check_bool "serial pays ~ one rtt per copy" true
+        (h.serial_ms -. r.baseline_ms >= 6.0 *. r.rtt_ms);
+      check_bool "two suspects cost two timeouts serially, one in parallel"
+        true
+        (s.serial_ms >= 1.8 *. s.parallel_ms)
+  | _ -> Alcotest.fail "expected exactly one point per variant"
+
+let test_fanout_deterministic () =
+  (* the whole experiment is a fixed-seed simulation: byte-identical
+     metrics on every run *)
+  let a = Experiments.Write_fault_fanout.run ~sizes:[ 4 ] () in
+  let b = Experiments.Write_fault_fanout.run ~sizes:[ 4 ] () in
+  check_bool "identical results" true (a = b)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -117,5 +142,10 @@ let () =
           Alcotest.test_case "F1 sort trade-off" `Slow test_f1_shape;
           Alcotest.test_case "F2 consistency costs" `Quick test_f2_shape;
           Alcotest.test_case "F3 PET trade-off" `Quick test_f3_shape;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "write-fault latency" `Quick test_fanout_latency;
+          Alcotest.test_case "deterministic" `Quick test_fanout_deterministic;
         ] );
     ]

@@ -733,6 +733,108 @@ let test_trace_record () =
   check_int "cleared" 0 (Trace.count tr ())
 
 (* ------------------------------------------------------------------ *)
+(* Fanout *)
+
+let test_fanout_order_and_concurrency () =
+  let elapsed, results =
+    Sim.exec (fun () ->
+        let t0 = Sim.now () in
+        let rs =
+          Fanout.map [ 30; 10; 20 ] ~f:(fun d ->
+              Sim.sleep (Time.ms d);
+              d * 2)
+        in
+        (Time.diff (Sim.now ()) t0, rs))
+  in
+  Alcotest.(check (list int)) "results in input order" [ 60; 20; 40 ] results;
+  check_int "elapsed = slowest worker, not the sum" (Time.ms 30) elapsed
+
+let test_fanout_empty_and_singleton () =
+  Alcotest.(check (list int))
+    "empty" []
+    (Sim.exec (fun () -> Fanout.map [] ~f:(fun x -> x)));
+  let t, r =
+    Sim.exec (fun () ->
+        let t0 = Sim.now () in
+        let r = Fanout.map [ 7 ] ~f:(fun x -> x + 1) in
+        (Time.diff (Sim.now ()) t0, r))
+  in
+  Alcotest.(check (list int)) "singleton result" [ 8 ] r;
+  check_int "singleton runs inline, no scheduling round trip" 0 t
+
+exception Boom
+
+let test_fanout_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Sim.exec (fun () ->
+             Fanout.map [ 1; 2; 3 ] ~f:(fun d ->
+                 Sim.sleep (Time.ms d);
+                 if d = 2 then raise Boom;
+                 d)));
+      false
+    with Boom -> true
+  in
+  check_bool "worker exception re-raised at the join" true raised
+
+let test_fanout_iter_waits_for_all () =
+  let hits =
+    Sim.exec (fun () ->
+        let hits = ref 0 in
+        Fanout.iter [ 5; 1; 3 ] ~f:(fun d ->
+            Sim.sleep (Time.ms d);
+            incr hits);
+        !hits)
+  in
+  check_int "every worker ran before iter returned" 3 hits
+
+(* ------------------------------------------------------------------ *)
+(* Stats on large series (the sorted cache must stay correct across
+   interleaved adds and reads) *)
+
+let test_stats_large_series_regression () =
+  let n = 10_000 in
+  (* deterministic pseudo-random samples; no global Random state *)
+  let x = ref 123456789 in
+  let next () =
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !x /. 1e6
+  in
+  let vals = Array.init n (fun _ -> next ()) in
+  let s = Stats.series "big" in
+  Array.iter (Stats.add s) vals;
+  let sorted = Array.copy vals in
+  Array.sort compare sorted;
+  check_int "n" n (Stats.n s);
+  Alcotest.(check (float 1e-9)) "min" sorted.(0) (Stats.min_v s);
+  Alcotest.(check (float 1e-9)) "max" sorted.(n - 1) (Stats.max_v s);
+  Alcotest.(check (float 1e-9)) "p0 = min" sorted.(0) (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9))
+    "p100 = max"
+    sorted.(n - 1)
+    (Stats.percentile s 100.0);
+  let p50 = Stats.percentile s 50.0 in
+  check_bool "median between the two middle samples" true
+    (p50 >= sorted.((n / 2) - 1) && p50 <= sorted.(n / 2));
+  check_bool "percentiles monotone" true
+    (Stats.percentile s 25.0 <= p50 && p50 <= Stats.percentile s 75.0);
+  let mean = Array.fold_left ( +. ) 0.0 vals /. float_of_int n in
+  Alcotest.(check (float 1e-6)) "mean" mean (Stats.mean s);
+  (* sample standard deviation (n - 1), matching the library *)
+  let var =
+    Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 vals
+    /. float_of_int (n - 1)
+  in
+  Alcotest.(check (float 1e-4)) "stddev" (sqrt var) (Stats.stddev s);
+  (* the cached sorted view must be invalidated by a later add *)
+  Stats.add s 1.0e9;
+  Alcotest.(check (float 1e-9)) "max after add" 1.0e9 (Stats.max_v s);
+  Alcotest.(check (float 1e-9))
+    "p100 after add" 1.0e9 (Stats.percentile s 100.0);
+  check_int "n after add" (n + 1) (Stats.n s)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -824,11 +926,24 @@ let () =
             test_rwlock_fifo_no_starvation;
         ] );
       qsuite "rwlock-props" [ prop_rwlock_invariant ];
+      ( "fanout",
+        [
+          Alcotest.test_case "order and concurrency" `Quick
+            test_fanout_order_and_concurrency;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_fanout_empty_and_singleton;
+          Alcotest.test_case "exception propagates" `Quick
+            test_fanout_exception_propagates;
+          Alcotest.test_case "iter waits for all" `Quick
+            test_fanout_iter_waits_for_all;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty series" `Quick test_stats_empty_series;
           Alcotest.test_case "counter" `Quick test_stats_counter;
+          Alcotest.test_case "large series regression" `Quick
+            test_stats_large_series_regression;
         ] );
       qsuite "stats-props" [ prop_stats_mean_bounds ];
       ("trace", [ Alcotest.test_case "record" `Quick test_trace_record ]);
