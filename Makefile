@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments bench-json clean
+.PHONY: all build test check faults experiments bench-json bench-diff bench-baseline clean
 
 all: build
 
@@ -23,6 +23,30 @@ experiments:
 # metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.
 bench-json:
 	dune exec bench/main.exe -- --json $(if $(BENCH_QUICK),--quick,)
+
+# Fail if the fixed-seed simulated metrics drift from the committed
+# quick-size baseline.  The simulation is deterministic and
+# machine-independent, so any diff is a real behaviour change; the
+# host-specific "wall_clock" suffix is stripped from both sides.
+bench-diff:
+	dune exec bench/main.exe -- --json --quick
+	@mkdir -p _build
+	@sed 's/, "wall_clock".*$$/}/' BENCH_core.json > _build/bench_now.sim
+	@sed 's/, "wall_clock".*$$/}/' bench/BENCH_baseline.json > _build/bench_base.sim
+	@if cmp -s _build/bench_base.sim _build/bench_now.sim; then \
+	  echo "bench-diff: simulated metrics match the committed baseline"; \
+	else \
+	  echo "bench-diff: simulated metrics DRIFTED from bench/BENCH_baseline.json:"; \
+	  diff _build/bench_base.sim _build/bench_now.sim | head -20; \
+	  echo "(intentional? refresh with: make bench-baseline)"; \
+	  exit 1; \
+	fi
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline:
+	dune exec bench/main.exe -- --json --quick
+	cp BENCH_core.json bench/BENCH_baseline.json
+	@echo "updated bench/BENCH_baseline.json -- commit it"
 
 clean:
 	dune clean

@@ -125,6 +125,12 @@ let simulated_metrics ~quick =
       ~sizes:(if quick then [ 1; 4; 8 ] else [ 1; 4; 8; 16 ])
       ()
   in
+  let pb =
+    Experiments.Page_batching.run
+      ~windows:(if quick then [ 0; 8 ] else [ 0; 2; 8 ])
+      ~flush_sizes:(if quick then [ 1; 16 ] else [ 1; 4; 16 ])
+      ()
+  in
   let fanout_points ps =
     j_arr
       (List.map
@@ -235,6 +241,38 @@ let simulated_metrics ~quick =
              j_field "baseline_ms" (j_num wf.baseline_ms);
              j_field "healthy" (fanout_points wf.healthy);
              j_field "suspected" (fanout_points wf.suspected);
+           ]);
+      j_field "page_batching"
+        (j_obj
+           [
+             j_field "scans"
+               (j_arr
+                  (List.map
+                     (fun s ->
+                       let open Experiments.Page_batching in
+                       j_obj
+                         [
+                           j_field "window" (j_int s.window);
+                           j_field "sequential" (string_of_bool s.sequential);
+                           j_field "fetch_rpcs" (j_int s.fetch_rpcs);
+                           j_field "prefetched" (j_int s.prefetched);
+                           j_field "scan_ms" (j_num s.scan_ms);
+                         ])
+                     pb.Experiments.Page_batching.scans));
+             j_field "flushes"
+               (j_arr
+                  (List.map
+                     (fun f ->
+                       let open Experiments.Page_batching in
+                       j_obj
+                         [
+                           j_field "pages" (j_int f.pages);
+                           j_field "serial_ms" (j_num f.serial_ms);
+                           j_field "batched_ms" (j_num f.batched_ms);
+                           j_field "serial_rpcs" (j_int f.serial_rpcs);
+                           j_field "batched_rpcs" (j_int f.batched_rpcs);
+                         ])
+                     pb.flushes));
            ]);
     ]
 

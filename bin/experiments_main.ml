@@ -8,7 +8,18 @@
 open Cmdliner
 
 let all_ids =
-  [ "t1"; "t2"; "t3"; "f1"; "f2"; "f3"; "fanout"; "faults"; "ablations" ]
+  [
+    "t1";
+    "t2";
+    "t3";
+    "f1";
+    "f2";
+    "f3";
+    "fanout";
+    "batching";
+    "faults";
+    "ablations";
+  ]
 
 let run_one ~quick id =
   match id with
@@ -40,6 +51,12 @@ let run_one ~quick id =
       print_string
         (Experiments.Write_fault_fanout.report
            (Experiments.Write_fault_fanout.run ~sizes ()))
+  | "batching" | "pb" ->
+      let windows = if quick then [ 0; 8 ] else [ 0; 2; 8 ] in
+      let flush_sizes = if quick then [ 1; 16 ] else [ 1; 4; 16 ] in
+      print_string
+        (Experiments.Page_batching.report
+           (Experiments.Page_batching.run ~windows ~flush_sizes ()))
   | "faults" ->
       let outcomes = Experiments.Faults.run_all () in
       print_string (Experiments.Faults.report outcomes);

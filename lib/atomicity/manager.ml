@@ -31,6 +31,11 @@ type t = {
   parallel_commit : bool;
       (* fan 2PC prepare/commit/abort RPCs out to all participants
          concurrently; serial mode survives for A/B experiments *)
+  batch_io : bool;
+      (* carry a Local commit's dirty pages as one Put_batch per home
+         server instead of a Put_page per page; serial mode survives
+         for A/B experiments.  Global commits are unaffected: their
+         writes must ride the Prepare (one per home) for atomicity *)
   txns : (int * int, state) Hashtbl.t;
   outcomes : (int * int, bool) Hashtbl.t;  (* true = committed *)
   by_pid : (int, state) Hashtbl.t;
@@ -336,6 +341,18 @@ let commit t st =
       st.status <- Finished;
       Sim.Stats.incr t.commit_count
   | Local ->
+      let msgs =
+        if t.batch_io then
+          List.map (fun (home, writes) -> (home, P.Put_batch writes)) grouped
+        else
+          List.concat_map
+            (fun (home, writes) ->
+              List.map
+                (fun (seg, page, data) ->
+                  (home, P.Put_page { seg; page; data }))
+                writes)
+            grouped
+      in
       List.iter
         (fun r ->
           match r with
@@ -343,8 +360,7 @@ let commit t st =
           | Ok _ | Error Ratp.Endpoint.Timeout ->
               st.status <- Rolling_back;
               raise Txn_abort_signal)
-        (participant_rpcs t st.coord
-           (List.map (fun (home, writes) -> (home, P.Put_batch writes)) grouped));
+        (participant_rpcs t st.coord msgs);
       mark_all_clean frames;
       List.iter
         (fun node ->
@@ -447,13 +463,14 @@ let wrapper t label (ctx : Clouds.Ctx.t) body =
 (* --- installation --------------------------------------------------- *)
 
 let install om ?(deadlock_timeout = Sim.Time.sec 5) ?(max_retries = 3)
-    ?(parallel_commit = true) () =
+    ?(parallel_commit = true) ?(batch_io = true) () =
   let cl = Clouds.Object_manager.cluster om in
   let t =
     {
       om;
       cl;
       parallel_commit;
+      batch_io;
       txns = Hashtbl.create 32;
       outcomes = Hashtbl.create 64;
       by_pid = Hashtbl.create 32;

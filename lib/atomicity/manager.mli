@@ -35,6 +35,7 @@ val install :
   ?deadlock_timeout:Sim.Time.span ->
   ?max_retries:int ->
   ?parallel_commit:bool ->
+  ?batch_io:bool ->
   unit ->
   t
 (** Hook the cluster.  [deadlock_timeout] (default 5 s simulated)
@@ -44,7 +45,11 @@ val install :
     phase — prepare, commit, abort, and local-consistency batch
     pushes — to all participant data servers concurrently, so a phase
     costs one round trip regardless of transaction span; [false]
-    keeps one blocking RPC per participant, for A/B experiments. *)
+    keeps one blocking RPC per participant, for A/B experiments.
+    [batch_io] (default [true]) carries a Local commit's dirty pages
+    as one [Put_batch] per home server; [false] sends a [Put_page]
+    per page.  Global commits always ride their one-per-home
+    [Prepare] regardless — splitting them would break atomicity. *)
 
 val object_manager : t -> Clouds.Object_manager.t
 (** The object manager this instance hooks. *)

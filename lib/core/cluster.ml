@@ -54,7 +54,7 @@ let volatile_partition =
   }
 
 let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
-    ~compute ~data ~workstations () =
+    ?batch_io ?prefetch_window ~compute ~data ~workstations () =
   if compute < 1 || data < 1 then
     invalid_arg "Cluster.create: need at least one compute and one data server";
   let ether = Net.Ethernet.create eng ?config:ether_config () in
@@ -76,7 +76,10 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
           ?ratp_config ())
   in
   let clients =
-    Array.map (fun n -> Dsm.Dsm_client.create n ~locate ()) compute_nodes
+    Array.map
+      (fun n ->
+        Dsm.Dsm_client.create n ~locate ?batch_io ?prefetch_window ())
+      compute_nodes
   in
   let wk =
     Array.init workstations (fun i ->

@@ -44,13 +44,17 @@ val create :
   ?params:Ra.Params.t ->
   ?ratp_config:Ratp.Endpoint.config ->
   ?ether_config:Net.Ethernet.config ->
+  ?batch_io:bool ->
+  ?prefetch_window:int ->
   compute:int ->
   data:int ->
   workstations:int ->
   unit ->
   t
 (** Build and boot a cluster.  Requires at least one compute and one
-    data server. *)
+    data server.  [batch_io] and [prefetch_window] are forwarded to
+    every {!Dsm.Dsm_client.create} (batched segment flush; fault-ahead
+    window, default off). *)
 
 val pick_compute : t -> Ra.Node.t
 (** Scheduling decision for a new thread, according to

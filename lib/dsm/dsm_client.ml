@@ -2,44 +2,146 @@ module P = Protocol
 
 exception Unavailable of Ra.Sysname.t
 
+(* Per-segment fault-ahead state: [next_expected] is the page a
+   sequential scan would fault next (last faulted page + 1 + extras
+   shipped with it); [win] is the current window, doubled on every
+   fault that lands on [next_expected] and reset to zero on a random
+   jump, so sparse workloads stop paying for speculation after one
+   wasted reply. *)
+type stream = { mutable next_expected : int; mutable win : int }
+
 type t = {
   node : Ra.Node.t;
   locate : Ra.Sysname.t -> Net.Address.t;
   local_store : Store.Segment_store.t option;
+  batch_io : bool;
+  prefetch_window : int;
+  loc_cache : Net.Address.t Ra.Sysname.Table.t;
+  streams : stream Ra.Sysname.Table.t;
+  mutable inval_epoch : int;
+  page_epochs : (Ra.Sysname.t * int, int) Hashtbl.t;
+      (* epoch of the last invalidation seen per page: a prefetched
+         extra is dropped instead of installed when its page was
+         invalidated while the carrying reply was in flight *)
   fetches : Sim.Stats.counter;
+  puts : Sim.Stats.counter;
   invals : Sim.Stats.counter;
   downs : Sim.Stats.counter;
+  loc_hits : Sim.Stats.counter;
+  loc_misses : Sim.Stats.counter;
 }
 
 let node t = t.node
 
+(* Location cache: segment-to-home bindings are stable between
+   failures, so steady-state faults skip name resolution.  Entries
+   are dropped when the home stops answering (it may have moved on
+   restart) and never cached on failure. *)
+let locate_cached t seg =
+  match Ra.Sysname.Table.find_opt t.loc_cache seg with
+  | Some home ->
+      Sim.Stats.incr t.loc_hits;
+      home
+  | None ->
+      let home = t.locate seg in
+      Sim.Stats.incr t.loc_misses;
+      Ra.Sysname.Table.replace t.loc_cache seg home;
+      home
+
+let forget_location t seg = Ra.Sysname.Table.remove t.loc_cache seg
+let reset_location_cache t = Ra.Sysname.Table.reset t.loc_cache
+
+let stream_for t seg =
+  match Ra.Sysname.Table.find_opt t.streams seg with
+  | Some s -> s
+  | None ->
+      let s = { next_expected = -1; win = 0 } in
+      Ra.Sysname.Table.replace t.streams seg s;
+      s
+
+let call t ~dst body =
+  Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.service
+    ~size:(P.request_bytes body) body
+
+(* Install the speculative read copies that rode a demand reply.  A
+   page whose invalidation epoch advanced past [epoch0] (snapshotted
+   before the request went out) was written while the reply was in
+   flight: its image is stale and is dropped.  The server keeps us in
+   that page's copyset either way, which is harmlessly conservative —
+   the next write fault sends one redundant Invalidate. *)
+let install_extras t ~seg ~epoch0 extras =
+  let mmu = t.node.Ra.Node.mmu in
+  List.iter
+    (fun (p, data) ->
+      let stale =
+        match Hashtbl.find_opt t.page_epochs (seg, p) with
+        | Some e -> e > epoch0
+        | None -> false
+      in
+      if not stale then ignore (Ra.Mmu.install_read mmu seg p data))
+    extras
+
 let remote_fetch t ~seg ~page ~mode =
-  let home = t.locate seg in
+  let home = locate_cached t seg in
   Sim.Stats.incr t.fetches;
-  let body = P.Get_page { seg; page; mode } in
-  match
-    Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst:home ~service:P.service
-      ~size:(P.request_bytes body) body
-  with
-  | Ok (P.Got_page data) -> data
-  | Ok P.Page_error -> raise (Ra.Partition.No_segment seg)
-  | Ok _ | Error Ratp.Endpoint.Timeout -> raise (Unavailable seg)
+  let use_stream = t.prefetch_window > 0 && mode = Ra.Partition.Read in
+  let window =
+    if not use_stream then 0
+    else begin
+      let s = stream_for t seg in
+      if page = s.next_expected then
+        s.win <- min t.prefetch_window (max 1 (2 * s.win))
+      else if s.next_expected < 0 then s.win <- 1
+      else s.win <- 0;
+      s.win
+    end
+  in
+  let epoch0 = t.inval_epoch in
+  let body = P.Get_page { seg; page; mode; window } in
+  match call t ~dst:home body with
+  | Ok (P.Got_page data) ->
+      if use_stream then (stream_for t seg).next_expected <- page + 1;
+      data
+  | Ok (P.Got_pages { main; extras }) ->
+      install_extras t ~seg ~epoch0 extras;
+      if use_stream then
+        (stream_for t seg).next_expected <- page + 1 + List.length extras;
+      main
+  | Ok P.Page_error ->
+      forget_location t seg;
+      raise (Ra.Partition.No_segment seg)
+  | Ok _ -> raise (Unavailable seg)
+  | Error Ratp.Endpoint.Timeout ->
+      forget_location t seg;
+      raise (Unavailable seg)
 
 let remote_writeback t ~seg ~page data =
-  let home = t.locate seg in
-  let body = P.Put_page { seg; page; data } in
-  match
-    Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst:home ~service:P.service
-      ~size:(P.request_bytes body) body
-  with
+  let home = locate_cached t seg in
+  Sim.Stats.incr t.puts;
+  match call t ~dst:home (P.Put_page { seg; page; data }) with
   | Ok P.Batch_ok -> ()
-  | Ok P.Segment_error -> raise (Ra.Partition.No_segment seg)
-  | Ok _ | Error Ratp.Endpoint.Timeout -> raise (Unavailable seg)
+  | Ok P.Segment_error ->
+      forget_location t seg;
+      raise (Ra.Partition.No_segment seg)
+  | Ok _ -> raise (Unavailable seg)
+  | Error Ratp.Endpoint.Timeout ->
+      forget_location t seg;
+      raise (Unavailable seg)
+
+let remote_write_batch t ~seg writes =
+  let home = locate_cached t seg in
+  Sim.Stats.incr t.puts;
+  match call t ~dst:home (P.Put_batch writes) with
+  | Ok P.Batch_ok -> ()
+  | Ok _ -> raise (Unavailable seg)
+  | Error Ratp.Endpoint.Timeout ->
+      forget_location t seg;
+      raise (Unavailable seg)
 
 let is_local t seg =
   match t.local_store with
   | Some store ->
-      Net.Address.equal (t.locate seg) t.node.Ra.Node.id
+      Net.Address.equal (locate_cached t seg) t.node.Ra.Node.id
       && Store.Segment_store.exists store seg
   | None -> false
 
@@ -60,15 +162,25 @@ let partition t =
         | Some _ | None -> remote_writeback t ~seg ~page data);
   }
 
-let create node ~locate ?local_store () =
+let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
+    () =
   let t =
     {
       node;
       locate;
       local_store;
+      batch_io;
+      prefetch_window;
+      loc_cache = Ra.Sysname.Table.create 32;
+      streams = Ra.Sysname.Table.create 32;
+      inval_epoch = 0;
+      page_epochs = Hashtbl.create 64;
       fetches = Sim.Stats.counter "dsmc.fetches";
+      puts = Sim.Stats.counter "dsmc.puts";
       invals = Sim.Stats.counter "dsmc.invals";
       downs = Sim.Stats.counter "dsmc.downs";
+      loc_hits = Sim.Stats.counter "dsmc.loc_hits";
+      loc_misses = Sim.Stats.counter "dsmc.loc_misses";
     }
   in
   Ra.Mmu.set_resolver node.Ra.Node.mmu (fun _seg -> partition t);
@@ -78,6 +190,8 @@ let create node ~locate ?local_store () =
         match body with
         | P.Invalidate { seg; page } ->
             Sim.Stats.incr t.invals;
+            t.inval_epoch <- t.inval_epoch + 1;
+            Hashtbl.replace t.page_epochs (seg, page) t.inval_epoch;
             P.Invalidated { dirty = Ra.Mmu.invalidate node.Ra.Node.mmu seg page }
         | P.Downgrade { seg; page } ->
             Sim.Stats.incr t.downs;
@@ -87,16 +201,30 @@ let create node ~locate ?local_store () =
       (reply, P.request_bytes reply));
   t
 
+(* Writeback of a segment's dirty pages: one Put_batch carrying all
+   of them (RaTP fragments it on the wire) instead of one Put_page
+   round trip per page.  [~batch_io:false] keeps the historical
+   serial loop for A/B comparison ({!Experiments.Page_batching}). *)
 let flush_segment t seg =
   let mmu = t.node.Ra.Node.mmu in
-  List.iter
-    (fun (page, data) ->
-      (partition t).Ra.Partition.writeback ~seg ~page data;
-      Ra.Mmu.mark_clean mmu seg page)
-    (Ra.Mmu.dirty_pages mmu seg)
+  match Ra.Mmu.dirty_pages mmu seg with
+  | [] -> ()
+  | dirty when t.batch_io && not (is_local t seg) ->
+      remote_write_batch t ~seg
+        (List.map (fun (page, data) -> (seg, page, data)) dirty);
+      List.iter (fun (page, _) -> Ra.Mmu.mark_clean mmu seg page) dirty
+  | dirty ->
+      List.iter
+        (fun (page, data) ->
+          (partition t).Ra.Partition.writeback ~seg ~page data;
+          Ra.Mmu.mark_clean mmu seg page)
+        dirty
 
 let drop_segment t seg = Ra.Mmu.drop_segment t.node.Ra.Node.mmu seg
 
 let remote_fetches t = Sim.Stats.value t.fetches
+let put_rpcs t = Sim.Stats.value t.puts
 let invalidations_received t = Sim.Stats.value t.invals
 let downgrades_received t = Sim.Stats.value t.downs
+let location_hits t = Sim.Stats.value t.loc_hits
+let location_misses t = Sim.Stats.value t.loc_misses

@@ -5,7 +5,12 @@
     the server-initiated invalidation and downgrade calls that keep
     every copy coherent.  Together with {!Dsm_server} this gives each
     node the illusion that every object logically resides locally —
-    the paper's distributed shared memory. *)
+    the paper's distributed shared memory.
+
+    The fast path adds three mechanisms (DESIGN.md §11), each gated
+    for A/B comparison: batched writeback of dirty pages, adaptive
+    fault-ahead prefetch, and a location cache that memoises
+    segment-to-home resolution. *)
 
 exception Unavailable of Ra.Sysname.t
 (** The segment's data server did not answer (crashed or
@@ -17,13 +22,27 @@ val create :
   Ra.Node.t ->
   locate:(Ra.Sysname.t -> Net.Address.t) ->
   ?local_store:Store.Segment_store.t ->
+  ?batch_io:bool ->
+  ?prefetch_window:int ->
   unit ->
   t
 (** Install the DSM client on a node and point the node's MMU at it.
     [locate] maps a segment to its data server.  When the node is
     itself a data server, [local_store] serves its own segments
     without network traffic (a machine with a disk is both a compute
-    and data server). *)
+    and data server).
+
+    [batch_io] (default [true]) makes {!flush_segment} send one
+    [Put_batch] with every dirty page instead of a [Put_page] round
+    trip per page; [false] keeps the serial loop for A/B experiments.
+
+    [prefetch_window] (default [0], off) caps the fault-ahead window:
+    read faults ask the server to ship up to that many adjacent
+    resident pages in the same reply, installed locally as clean read
+    copies.  The window adapts per segment — it doubles while faults
+    land sequentially and resets on a random jump.  Off by default
+    because prefetch changes fault counts and timings, which the
+    calibrated experiments pin down. *)
 
 val partition : t -> Ra.Partition.t
 
@@ -32,12 +51,28 @@ val node : t -> Ra.Node.t
 val flush_segment : t -> Ra.Sysname.t -> unit
 (** Write every dirty resident page of the segment back to its data
     server and mark the frames clean (used by s-threads that want
-    their updates stored, and by examples). *)
+    their updates stored, and by examples).  One batched RPC per
+    segment when [batch_io] is set. *)
 
 val drop_segment : t -> Ra.Sysname.t -> unit
 (** Locally invalidate all frames of a segment without writing them
     back (transaction abort). *)
 
+val reset_location_cache : t -> unit
+(** Drop every cached segment-to-home binding (placement may change
+    across restarts).  Individual entries are already dropped
+    whenever their home stops answering. *)
+
 val remote_fetches : t -> int
+(** Fetch RPCs issued (prefetch hits avoid these entirely). *)
+
+val put_rpcs : t -> int
+(** Writeback RPCs issued ([Put_page] and [Put_batch] both count 1). *)
+
 val invalidations_received : t -> int
 val downgrades_received : t -> int
+
+val location_hits : t -> int
+(** Faults whose home resolution was served from the location cache. *)
+
+val location_misses : t -> int

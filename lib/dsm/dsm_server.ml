@@ -34,6 +34,7 @@ type t = {
   presume_abort_after : Sim.Time.span;
   mutable oracle : (int * int) -> [ `Committed | `Aborted | `Pending | `Unknown ];
   served : Sim.Stats.counter;
+  prefetched : Sim.Stats.counter;
   invals : Sim.Stats.counter;
   downs : Sim.Stats.counter;
   commit_count : Sim.Stats.counter;
@@ -115,12 +116,11 @@ let invalidate_copies t key ~except =
   let reader_targets =
     List.sort Net.Address.compare st.copyset
     |> List.filter (fun c ->
-           if Net.Address.equal c except || Hashtbl.mem t.suspects c then false
-           else begin
-             Sim.Stats.incr t.invals;
-             true
-           end)
+           not (Net.Address.equal c except) && not (Hashtbl.mem t.suspects c))
   in
+  (* counting stays outside the predicate: filter is free to
+     re-evaluate, and selection must not have side effects *)
+  List.iter (fun _ -> Sim.Stats.incr t.invals) reader_targets;
   let invalidate peer = (peer, call_client t ~dst:peer (P.Invalidate { seg; page })) in
   let targets = owner_target @ reader_targets in
   let replies =
@@ -147,7 +147,47 @@ let warm_segment t seg =
     Store.Disk.read t.disk ~bytes:Ra.Page.size
   end
 
-let handle_get t ~src seg page mode =
+(* Fault-ahead: collect up to [window] pages following [page] to ship
+   in the same reply.  The run stops at the first page that cannot be
+   served from the store as-is: past the segment end, never written
+   (shipping zeroes wastes wire; a local zero-fill is cheaper),
+   write-owned by some node (the store copy is stale), or whose page
+   mutex is busy (a write fault in flight would wipe our copyset
+   registration when it completes).  Each shipped page registers [src]
+   in its copyset *before* the reply leaves, so a later write fault is
+   guaranteed to invalidate the speculative copy — the Li–Hudak
+   invariant holds for prefetched pages exactly as for demanded ones.
+
+   This runs without yielding (no RPC, no sleep), so the busy-mutex
+   and owner checks cannot go stale before the reply is queued. *)
+let collect_extras t ~src seg page window =
+  let pages_in_seg =
+    (Store.Segment_store.size t.store seg + Ra.Page.size - 1) / Ra.Page.size
+  in
+  let rec go p acc n =
+    if n >= window || p >= pages_in_seg then List.rev acc
+    else
+      let busy =
+        match Hashtbl.find_opt t.page_mutexes (seg, p) with
+        | Some m -> Sim.Mutex.locked m
+        | None -> false
+      in
+      if busy then List.rev acc
+      else
+        let est = owner_state t (seg, p) in
+        if est.owner <> None then List.rev acc
+        else
+          match Store.Segment_store.read_page t.store seg p with
+          | Ra.Partition.Zeroed -> List.rev acc
+          | Ra.Partition.Data b ->
+              if not (List.mem src est.copyset) then
+                est.copyset <- src :: est.copyset;
+              Sim.Stats.incr t.prefetched;
+              go (p + 1) ((p, b) :: acc) (n + 1)
+  in
+  go (page + 1) [] 0
+
+let handle_get t ~src seg page mode window =
   let key = (seg, page) in
   Sim.Mutex.with_lock (page_mutex t key) (fun () ->
       if not (Store.Segment_store.exists t.store seg) then P.Page_error
@@ -169,7 +209,16 @@ let handle_get t ~src seg page mode =
             st.owner <- Some src;
             st.copyset <- []);
         Sim.Stats.incr t.served;
-        P.Got_page (Store.Segment_store.read_page t.store seg page)
+        let main = Store.Segment_store.read_page t.store seg page in
+        let extras =
+          match mode with
+          | Ra.Partition.Read when window > 0 ->
+              collect_extras t ~src seg page window
+          | _ -> []
+        in
+        match extras with
+        | [] -> P.Got_page main
+        | extras -> P.Got_pages { main; extras }
       end)
 
 let release_txn_everywhere t txn = Lock_table.release_txn t.locks txn
@@ -236,7 +285,8 @@ let handle t ~src body =
   (* any message from a node proves it is alive again *)
   Hashtbl.remove t.suspects src;
   match body with
-  | P.Get_page { seg; page; mode } -> handle_get t ~src seg page mode
+  | P.Get_page { seg; page; mode; window } ->
+      handle_get t ~src seg page mode window
   | P.Put_page { seg; page; data } ->
       if Store.Segment_store.exists t.store seg then begin
         Store.Segment_store.write_page t.store seg page data;
@@ -319,6 +369,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       presume_abort_after;
       oracle = (fun _ -> `Unknown);
       served = Sim.Stats.counter "dsm.pages_served";
+      prefetched = Sim.Stats.counter "dsm.pages_prefetched";
       invals = Sim.Stats.counter "dsm.invalidations";
       downs = Sim.Stats.counter "dsm.downgrades";
       commit_count = Sim.Stats.counter "dsm.commits";
@@ -409,6 +460,7 @@ let copyset_of t seg page =
   | None -> []
 
 let pages_served t = Sim.Stats.value t.served
+let pages_prefetched t = Sim.Stats.value t.prefetched
 let invalidations_sent t = Sim.Stats.value t.invals
 let downgrades_sent t = Sim.Stats.value t.downs
 let commits t = Sim.Stats.value t.commit_count

@@ -59,6 +59,12 @@ val copyset_of : t -> Ra.Sysname.t -> int -> Net.Address.t list
 (** Nodes holding read copies (tests); sorted. *)
 
 val pages_served : t -> int
+
+val pages_prefetched : t -> int
+(** Adjacent pages shipped speculatively alongside demand fetches
+    (fault-ahead).  Each one was registered in its page's copyset
+    before the carrying reply left, so invalidation reaches it. *)
+
 val invalidations_sent : t -> int
 val downgrades_sent : t -> int
 val commits : t -> int

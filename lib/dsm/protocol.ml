@@ -5,8 +5,17 @@ type lock_kind = R | W
 type write_set = (Ra.Sysname.t * int * bytes) list
 
 type Ratp.Packet.body +=
-  | Get_page of { seg : Ra.Sysname.t; page : int; mode : Ra.Partition.mode }
+  | Get_page of {
+      seg : Ra.Sysname.t;
+      page : int;
+      mode : Ra.Partition.mode;
+      window : int;
+    }
   | Got_page of Ra.Partition.fetch_data
+  | Got_pages of {
+      main : Ra.Partition.fetch_data;
+      extras : (int * bytes) list;
+    }
   | Page_error
   | Put_page of { seg : Ra.Sysname.t; page : int; data : bytes }
   | Put_batch of write_set
@@ -45,10 +54,21 @@ let client_service = 11
 let write_set_bytes ws =
   List.fold_left (fun acc (_, _, data) -> acc + 24 + Bytes.length data) 0 ws
 
+(* Prefetched extras ride in the same reply as the faulted page: each
+   entry carries a page number plus payload, charged like a write-set
+   entry (24-byte header per page). *)
+let extras_bytes extras =
+  List.fold_left (fun acc (_, data) -> acc + 24 + Bytes.length data) 0 extras
+
 let request_bytes = function
   | Get_page _ -> 48
   | Got_page (Ra.Partition.Data b) -> 48 + Bytes.length b
   | Got_page Ra.Partition.Zeroed -> 48
+  | Got_pages { main; extras } ->
+      let main_bytes =
+        match main with Ra.Partition.Data b -> Bytes.length b | Zeroed -> 0
+      in
+      48 + main_bytes + extras_bytes extras
   | Page_error -> 32
   | Put_page { data; _ } -> 48 + Bytes.length data
   | Put_batch ws | Overwrite ws -> 48 + write_set_bytes ws
@@ -72,7 +92,7 @@ let request_bytes = function
   | Commit _ | Abort _ -> 48
   | Txn_done -> 32
   | List_objects -> 32
-  | Objects names -> 32 + (16 * List.length names)
+  | Objects names -> 32 + (24 * List.length names)
   | _ -> 64
 
 let txn_compare a b =

@@ -15,8 +15,22 @@ type write_set = (Ra.Sysname.t * int * bytes) list
 (** (segment, page index, page image) triples. *)
 
 type Ratp.Packet.body +=
-  | Get_page of { seg : Ra.Sysname.t; page : int; mode : Ra.Partition.mode }
+  | Get_page of {
+      seg : Ra.Sysname.t;
+      page : int;
+      mode : Ra.Partition.mode;
+      window : int;
+          (** fault-ahead hint: ship up to [window] adjacent resident
+              pages in the reply (0 disables prefetch) *)
+    }
   | Got_page of Ra.Partition.fetch_data
+  | Got_pages of {
+      main : Ra.Partition.fetch_data;
+      extras : (int * bytes) list;
+          (** prefetched (page, image) pairs following the faulted
+              page; the server has already registered the requester in
+              each page's copyset *)
+    }
   | Page_error
   | Put_page of { seg : Ra.Sysname.t; page : int; data : bytes }
   | Put_batch of write_set

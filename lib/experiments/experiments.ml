@@ -16,3 +16,4 @@ module F3_pet = F3_pet
 module Faults = Faults
 module Ablations = Ablations
 module Write_fault_fanout = Write_fault_fanout
+module Page_batching = Page_batching

@@ -77,19 +77,19 @@ let measure_write_fault ~parallel ~copyset ~suspects =
       List.iter
         (fun n ->
           rpc n
-            (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Read }))
+            (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Read; window = 0 }))
         readers;
       (* the writer reads the page too, so every variant — including
          the empty-copyset baseline — measures a warm write fault; the
          server never invalidates the faulting node itself *)
       rpc writer
-        (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Read });
+        (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Read; window = 0 });
       (* crash the first [suspects] readers; the server still lists
          them in the copyset and will have to time out on each *)
       List.iteri (fun i n -> if i < suspects then Ra.Node.crash n) readers;
       let t0 = Sim.now () in
       rpc writer
-        (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Write });
+        (Dsm.Protocol.Get_page { seg; page = 0; mode = Ra.Partition.Write; window = 0 });
       Sim.Time.to_ms_f (Sim.Time.diff (Sim.now ()) t0))
 
 let point ~copyset ~suspects =

@@ -88,6 +88,7 @@ let copy_state om t ~from_index ~to_index =
                      seg = src_e.Store.Directory.seg;
                      page;
                      mode = Ra.Partition.Read;
+                     window = 0;
                    })
             with
             | Ok (P.Got_page (Ra.Partition.Data data)) ->

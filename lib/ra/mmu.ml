@@ -22,6 +22,7 @@ type t = {
   mutable zero_fills : int;
   mutable upgrades : int;
   mutable evictions : int;
+  mutable prefetches : int;
 }
 
 let create ?(max_frames = max_int) ~params ~cpu () =
@@ -40,6 +41,7 @@ let create ?(max_frames = max_int) ~params ~cpu () =
     zero_fills = 0;
     upgrades = 0;
     evictions = 0;
+    prefetches = 0;
   }
 
 let set_resolver t resolver = t.resolver <- resolver
@@ -231,6 +233,32 @@ let downgrade t seg page =
       f.dirty <- false;
       if dirty then Some (Page.copy f.data) else None
 
+(* Install a speculative read copy shipped alongside a demand fetch.
+   Speculation must never displace demand-loaded frames or race a
+   fault already in flight, so the install is skipped (returning
+   false) when the page is resident, being fetched, poisoned by a
+   concurrent invalidation, or the node is at its frame budget.  No
+   CPU is charged: the copy rode an existing reply. *)
+let install_read t seg page data =
+  let key = (seg, page) in
+  if
+    Hashtbl.mem t.frames key
+    || Hashtbl.mem t.inflight key
+    || Hashtbl.mem t.poisoned key
+    || Hashtbl.length t.frames >= t.max_frames
+  then false
+  else begin
+    let page_data = Page.zero () in
+    Bytes.blit data 0 page_data 0 (min (Bytes.length data) Page.size);
+    let frame =
+      { mode = Partition.Read; data = page_data; dirty = false; last_used = 0 }
+    in
+    touch_frame t frame;
+    Hashtbl.replace t.frames key frame;
+    t.prefetches <- t.prefetches + 1;
+    true
+  end
+
 let mark_clean t seg page =
   match Hashtbl.find_opt t.frames (seg, page) with
   | Some f -> f.dirty <- false
@@ -254,4 +282,5 @@ let faults t = t.faults
 let zero_fills t = t.zero_fills
 let upgrades t = t.upgrades
 let evictions t = t.evictions
+let prefetches t = t.prefetches
 let resident_frames t = Hashtbl.length t.frames

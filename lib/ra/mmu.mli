@@ -58,6 +58,15 @@ val invalidate : t -> Sysname.t -> int -> bytes option
 val downgrade : t -> Sysname.t -> int -> bytes option
 (** Demote a write frame to read mode, returning the data if dirty. *)
 
+val install_read : t -> Sysname.t -> int -> bytes -> bool
+(** Install a prefetched page image as a clean read copy without
+    charging fault costs.  Returns false (and installs nothing) if
+    the page is already resident, a fault on it is in flight, it was
+    invalidated while the carrying reply was in transit, or the node
+    is at its frame budget — speculation never evicts demand-loaded
+    frames.  The caller must already hold a copyset registration for
+    the page at its server. *)
+
 val mark_clean : t -> Sysname.t -> int -> unit
 (** Clear the dirty bit after a successful writeback/commit. *)
 
@@ -73,6 +82,9 @@ val upgrades : t -> int
 
 val evictions : t -> int
 (** Frames evicted to make room (see [max_frames]). *)
+
+val prefetches : t -> int
+(** Read copies installed via {!install_read}. *)
 
 val resident_frames : t -> int
 (** Frames currently held. *)

@@ -1,27 +1,44 @@
+(* The backing array is [Obj.t] with an immediate unit filler so that
+   vacated slots can actually drop their references: a plain ['a
+   array] has no value to overwrite freed slots with, and both the
+   old [pop] (which left the moved element's copy at [data.(size)],
+   pinning popped event closures until overwritten) and [grow] (whose
+   [Array.make] filled every fresh slot with the pushed element)
+   retained elements long after they left the heap.
+
+   Soundness: the array is always created with the immediate [dummy],
+   so it is a regular (non-flat-float) array; element values — boxed
+   or immediate — are stored and read back through [Obj.repr]/
+   [Obj.obj] without ever letting [Array.make] specialize on them. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : Obj.t array;
   mutable size : int;
 }
+
+let dummy = Obj.repr ()
 
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+let grow h =
   let capacity = Array.length h.data in
   if h.size >= capacity then begin
     let next = if capacity = 0 then 16 else capacity * 2 in
-    let data = Array.make next x in
+    let data = Array.make next dummy in
     Array.blit h.data 0 data 0 h.size;
     h.data <- data
   end
 
+let elt (h : 'a t) i : 'a = Obj.obj h.data.(i)
+
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if h.cmp (elt h i) (elt h parent) < 0 then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -32,9 +49,9 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+  if left < h.size && h.cmp (elt h left) (elt h !smallest) < 0 then
     smallest := left;
-  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+  if right < h.size && h.cmp (elt h right) (elt h !smallest) < 0 then
     smallest := right;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
@@ -44,23 +61,27 @@ let rec sift_down h i =
   end
 
 let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  grow h;
+  h.data.(h.size) <- Obj.repr x;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let pop h =
+let pop (h : 'a t) : 'a option =
   if h.size = 0 then None
   else begin
-    let root = h.data.(0) in
+    let root = elt h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- dummy;
     Some root
   end
 
-let peek h = if h.size = 0 then None else Some h.data.(0)
+let peek (h : 'a t) : 'a option = if h.size = 0 then None else Some (elt h 0)
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size dummy;
+  h.size <- 0

@@ -26,7 +26,8 @@ type cluster = {
   c2 : Dsm.Dsm_client.t;
 }
 
-let with_cluster ?(presume_abort_after = Time.sec 60) f =
+let with_cluster ?(presume_abort_after = Time.sec 60) ?batch_io
+    ?prefetch_window f =
   Sim.exec (fun () ->
       let eng = Sim.engine () in
       let ether = Net.Ethernet.create eng () in
@@ -38,11 +39,11 @@ let with_cluster ?(presume_abort_after = Time.sec 60) f =
       let n1 =
         Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute ~ratp_config:fast_ratp ()
       in
-      let c1 = Dsm.Dsm_client.create n1 ~locate () in
+      let c1 = Dsm.Dsm_client.create n1 ~locate ?batch_io ?prefetch_window () in
       let n2 =
         Ra.Node.create ether ~id:3 ~kind:Ra.Node.Compute ~ratp_config:fast_ratp ()
       in
-      let c2 = Dsm.Dsm_client.create n2 ~locate () in
+      let c2 = Dsm.Dsm_client.create n2 ~locate ?batch_io ?prefetch_window () in
       f { eng; ether; nd; server; n1; c1; n2; c2 })
 
 let new_seg cl ~pages =
@@ -203,6 +204,151 @@ let prop_one_copy_semantics =
               end)
             ops);
       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: fault-ahead prefetch, batched flush, byte accounting *)
+
+let fill_pages cl seg ~pages =
+  for p = 0 to pages - 1 do
+    Store.Segment_store.write_page
+      (Dsm.Dsm_server.store cl.server)
+      seg p
+      (Bytes.make Ra.Page.size (Char.chr (97 + p)))
+  done
+
+let test_prefetch_sequential_scan () =
+  with_cluster ~prefetch_window:8 (fun cl ->
+      let pages = 8 in
+      let seg = new_seg cl ~pages in
+      fill_pages cl seg ~pages;
+      let vs = vspace_for seg ~pages in
+      for p = 0 to pages - 1 do
+        Alcotest.(check string)
+          (Printf.sprintf "page %d contents" p)
+          (String.make 4 (Char.chr (97 + p)))
+          (read cl.n1 vs ~addr:(p * Ra.Page.size) ~len:4)
+      done;
+      (* the doubling window turns 8 demand faults into 3 RPCs:
+         page 0 ships [1], page 2 ships [3;4], page 5 ships [6;7] *)
+      check_int "three fetch RPCs" 3 (Dsm.Dsm_client.remote_fetches cl.c1);
+      check_int "five pages prefetched" 5
+        (Dsm.Dsm_server.pages_prefetched cl.server);
+      check_int "five prefetch installs" 5
+        (Ra.Mmu.prefetches cl.n1.Ra.Node.mmu);
+      (* every shipped page is registered in its copyset *)
+      for p = 0 to pages - 1 do
+        check_bool
+          (Printf.sprintf "page %d copyset has c1" p)
+          true
+          (List.mem 2 (Dsm.Dsm_server.copyset_of cl.server seg p))
+      done;
+      (* the location cache resolved the home once *)
+      check_int "one location miss" 1 (Dsm.Dsm_client.location_misses cl.c1);
+      check_int "rest were hits" 2 (Dsm.Dsm_client.location_hits cl.c1))
+
+let test_prefetch_random_scan_stops_speculating () =
+  with_cluster ~prefetch_window:8 (fun cl ->
+      let pages = 8 in
+      let seg = new_seg cl ~pages in
+      fill_pages cl seg ~pages;
+      let vs = vspace_for seg ~pages in
+      List.iter
+        (fun p -> ignore (read cl.n1 vs ~addr:(p * Ra.Page.size) ~len:1))
+        [ 6; 1; 4; 0; 3 ];
+      (* only the first fault speculates (window 1); the jumps reset
+         the window, so no further pages ship *)
+      check_int "one speculative page" 1
+        (Dsm.Dsm_server.pages_prefetched cl.server))
+
+(* The acceptance test for copyset registration: a page that reached
+   a node ONLY as a prefetched extra must still be invalidated by
+   another node's write fault. *)
+let test_write_fault_invalidates_prefetched_copy () =
+  with_cluster ~prefetch_window:8 (fun cl ->
+      let pages = 4 in
+      let seg = new_seg cl ~pages in
+      fill_pages cl seg ~pages;
+      let vs = vspace_for seg ~pages in
+      (* c1 demand-reads page 0; page 1 arrives only via prefetch *)
+      ignore (read cl.n1 vs ~addr:0 ~len:1);
+      check_int "single fetch RPC" 1 (Dsm.Dsm_client.remote_fetches cl.c1);
+      check_bool "page 1 resident via prefetch" true
+        (Ra.Mmu.resident cl.n1.Ra.Node.mmu seg 1 = Some Ra.Partition.Read);
+      (* c2 write-faults page 1: c1's speculative copy must die *)
+      write cl.n2 vs ~addr:Ra.Page.size "overwrite";
+      check_bool "prefetched copy invalidated" true
+        (Ra.Mmu.resident cl.n1.Ra.Node.mmu seg 1 = None);
+      check_bool "c1 saw the invalidation" true
+        (Dsm.Dsm_client.invalidations_received cl.c1 >= 1);
+      (* and c1 rereads the fresh bytes, not the stale image *)
+      Alcotest.(check string)
+        "c1 rereads coherently" "overwrite"
+        (read cl.n1 vs ~addr:Ra.Page.size ~len:9))
+
+let test_batched_flush () =
+  let store_bytes batched =
+    with_cluster ~batch_io:batched (fun cl ->
+        let pages = 3 in
+        let seg = new_seg cl ~pages in
+        let vs = vspace_for seg ~pages in
+        for p = 0 to pages - 1 do
+          write cl.n1 vs
+            ~addr:(p * Ra.Page.size)
+            (Printf.sprintf "page-%d" p)
+        done;
+        let rpcs0 = Dsm.Dsm_client.put_rpcs cl.c1 in
+        Dsm.Dsm_client.flush_segment cl.c1 seg;
+        check_int
+          (if batched then "one batched RPC" else "one RPC per page")
+          (if batched then 1 else pages)
+          (Dsm.Dsm_client.put_rpcs cl.c1 - rpcs0);
+        check_bool "frames clean" true
+          (Ra.Mmu.dirty_pages cl.n1.Ra.Node.mmu seg = []);
+        List.init pages (fun p ->
+            match
+              Store.Segment_store.read_page
+                (Dsm.Dsm_server.store cl.server)
+                seg p
+            with
+            | Ra.Partition.Data d -> Bytes.to_string (Bytes.sub d 0 6)
+            | Ra.Partition.Zeroed -> "ZEROED"))
+  in
+  let serial = store_bytes false and batched = store_bytes true in
+  Alcotest.(check (list string))
+    "serial and batched flush store the same bytes" serial batched;
+  Alcotest.(check (list string))
+    "flushed contents" [ "page-0"; "page-1"; "page-2" ] batched
+
+(* Pin the wire-size model for every batch-carrying message: 24-byte
+   per-entry headers, 48/64-byte envelopes. *)
+let test_request_bytes_accounting () =
+  let seg = Ra.Sysname.fresh (Ra.Sysname.make_gen ~node:99) in
+  let ws =
+    [ (seg, 0, Bytes.create 8192); (seg, 1, Bytes.create 100) ]
+  in
+  let ws_bytes = 24 + 8192 + (24 + 100) in
+  check_int "Put_batch" (48 + ws_bytes) (P.request_bytes (P.Put_batch ws));
+  check_int "Overwrite" (48 + ws_bytes) (P.request_bytes (P.Overwrite ws));
+  check_int "Prepare" (64 + ws_bytes)
+    (P.request_bytes (P.Prepare { txn = { P.tnode = 1; tseq = 1 }; writes = ws }));
+  check_int "Got_pages"
+    (48 + 8192 + (24 + 8192) + (24 + 8192))
+    (P.request_bytes
+       (P.Got_pages
+          {
+            main = Ra.Partition.Data (Bytes.create 8192);
+            extras = [ (1, Bytes.create 8192); (2, Bytes.create 8192) ];
+          }));
+  check_int "Got_pages zero main" (48 + 24 + 10)
+    (P.request_bytes
+       (P.Got_pages
+          { main = Ra.Partition.Zeroed; extras = [ (1, Bytes.create 10) ] }));
+  (* sysname lists charge the same 24-byte entries as descriptors *)
+  check_int "Objects" (32 + (24 * 3))
+    (P.request_bytes (P.Objects [ seg; seg; seg ]));
+  check_int "Get_page carries no payload" 48
+    (P.request_bytes
+       (P.Get_page { seg; page = 0; mode = Ra.Partition.Read; window = 8 }))
 
 let test_flush_and_drop () =
   with_cluster (fun cl ->
@@ -611,6 +757,15 @@ let () =
             test_segment_rpc_lifecycle;
           Alcotest.test_case "owner crash falls back to store" `Quick
             test_owner_crash_recovers_stored_state;
+          Alcotest.test_case "prefetch sequential scan" `Quick
+            test_prefetch_sequential_scan;
+          Alcotest.test_case "prefetch stops on random access" `Quick
+            test_prefetch_random_scan_stops_speculating;
+          Alcotest.test_case "write fault invalidates prefetched copy" `Quick
+            test_write_fault_invalidates_prefetched_copy;
+          Alcotest.test_case "batched flush" `Quick test_batched_flush;
+          Alcotest.test_case "request byte accounting" `Quick
+            test_request_bytes_accounting;
           Alcotest.test_case "write contention converges" `Quick
             test_write_contention_converges;
         ] );

@@ -128,6 +128,43 @@ let test_fanout_deterministic () =
   let b = Experiments.Write_fault_fanout.run ~sizes:[ 4 ] () in
   check_bool "identical results" true (a = b)
 
+let test_batching_acceptance () =
+  let r =
+    Experiments.Page_batching.run ~windows:[ 0; 8 ] ~flush_sizes:[ 16 ] ()
+  in
+  let open Experiments.Page_batching in
+  let seq w =
+    List.find (fun p -> p.window = w && p.sequential) r.scans
+  in
+  let w0 = seq 0 and w8 = seq 8 in
+  (* window 0 faults once per page; a window of 8 must cut the
+     sequential scan to at most a quarter of those RPCs *)
+  check_bool "window 0 faults every page" true (w0.fetch_rpcs = 16);
+  check_bool
+    (Printf.sprintf "window 8 rpcs %d <= %d/4" w8.fetch_rpcs w0.fetch_rpcs)
+    true
+    (w8.fetch_rpcs * 4 <= w0.fetch_rpcs);
+  check_bool "prefetch also speeds up the scan" true
+    (w8.scan_ms < w0.scan_ms);
+  (* random access must not leave the adaptive window speculating *)
+  let rnd8 = List.find (fun p -> p.window = 8 && not p.sequential) r.scans in
+  check_bool "random scan wastes few prefetches" true (rnd8.prefetched <= 2);
+  match r.flushes with
+  | [ f ] ->
+      check_bool "one rpc per dirty page serially" true (f.serial_rpcs = 16);
+      check_bool "one rpc for the whole batch" true (f.batched_rpcs = 1);
+      check_bool
+        (Printf.sprintf "batched %.2f <= serial %.2f / 3" f.batched_ms
+           f.serial_ms)
+        true
+        (f.batched_ms *. 3.0 <= f.serial_ms)
+  | _ -> Alcotest.fail "expected one flush point"
+
+let test_batching_deterministic () =
+  let a = Experiments.Page_batching.run ~windows:[ 0; 2 ] ~flush_sizes:[ 4 ] () in
+  let b = Experiments.Page_batching.run ~windows:[ 0; 2 ] ~flush_sizes:[ 4 ] () in
+  check_bool "identical results" true (a = b)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -147,5 +184,12 @@ let () =
         [
           Alcotest.test_case "write-fault latency" `Quick test_fanout_latency;
           Alcotest.test_case "deterministic" `Quick test_fanout_deterministic;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "prefetch and flush acceptance" `Quick
+            test_batching_acceptance;
+          Alcotest.test_case "deterministic" `Quick
+            test_batching_deterministic;
         ] );
     ]

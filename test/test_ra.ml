@@ -382,6 +382,70 @@ let test_mmu_eviction_writes_back_dirty () =
         "roundtrip after eviction" "persist-me"
         (Bytes.to_string (Mmu.read mmu vs ~addr:0 ~len:10)))
 
+(* Drive a node well past its frame budget with a mix of clean and
+   dirty frames: every dirty victim must reach the partition, clean
+   victims must not trigger writebacks, and the eviction counter must
+   account for every displaced frame. *)
+let test_mmu_eviction_mixed_clean_dirty () =
+  with_small_mmu ~max_frames:4 (fun mmu vs seg pages _fetches ->
+      Mmu.write mmu vs ~addr:0 (Bytes.of_string "dirty-0");
+      Mmu.write mmu vs ~addr:Page.size (Bytes.of_string "dirty-1");
+      ignore (Mmu.read mmu vs ~addr:(2 * Page.size) ~len:1);
+      ignore (Mmu.read mmu vs ~addr:(3 * Page.size) ~len:1);
+      check_int "at budget, no evictions yet" 0 (Mmu.evictions mmu);
+      (* pages 4..7 displace 0..3 in LRU order *)
+      for p = 4 to 7 do
+        ignore (Mmu.read mmu vs ~addr:(p * Page.size) ~len:1)
+      done;
+      check_int "every displaced frame counted" 4 (Mmu.evictions mmu);
+      check_int "still at the frame budget" 4 (Mmu.resident_frames mmu);
+      for p = 0 to 3 do
+        check_bool
+          (Printf.sprintf "page %d evicted" p)
+          true
+          (Mmu.resident mmu seg p = None)
+      done;
+      (* dirty victims were written back, not dropped *)
+      let stored p want =
+        match Hashtbl.find_opt pages (seg, p) with
+        | Some b -> Bytes.to_string (Bytes.sub b 0 (String.length want)) = want
+        | None -> false
+      in
+      check_bool "dirty page 0 written back" true (stored 0 "dirty-0");
+      check_bool "dirty page 1 written back" true (stored 1 "dirty-1");
+      (* clean victims never touched the partition *)
+      check_bool "clean page 2 not written back" true
+        (Hashtbl.find_opt pages (seg, 2) = None);
+      check_bool "clean page 3 not written back" true
+        (Hashtbl.find_opt pages (seg, 3) = None);
+      (* the written-back data survives a refetch *)
+      Alcotest.(check string)
+        "roundtrip after eviction" "dirty-0"
+        (Bytes.to_string (Mmu.read mmu vs ~addr:0 ~len:7)))
+
+let test_mmu_install_read () =
+  with_small_mmu ~max_frames:2 (fun mmu vs seg _pages fetches ->
+      let img = Bytes.make Page.size 'p' in
+      check_bool "installs into a free frame" true
+        (Mmu.install_read mmu seg 0 img);
+      check_bool "resident read-mode" true
+        (Mmu.resident mmu seg 0 = Some Partition.Read);
+      check_int "one prefetch" 1 (Mmu.prefetches mmu);
+      check_bool "no second install on a resident page" false
+        (Mmu.install_read mmu seg 0 img);
+      (* the installed copy serves reads without any fetch *)
+      Alcotest.(check string)
+        "contents visible" "pppp"
+        (Bytes.to_string (Mmu.read mmu vs ~addr:0 ~len:4));
+      check_int "no fetch issued" 0 !fetches;
+      check_bool "clean, not dirty" true (Mmu.dirty_pages mmu seg = []);
+      (* at the frame budget, speculation must not evict *)
+      ignore (Mmu.read mmu vs ~addr:Page.size ~len:1);
+      check_int "budget full" 2 (Mmu.resident_frames mmu);
+      check_bool "install refused at budget" false
+        (Mmu.install_read mmu seg 2 img);
+      check_int "nothing evicted for speculation" 0 (Mmu.evictions mmu))
+
 (* ------------------------------------------------------------------ *)
 (* Node and isiba *)
 
@@ -470,6 +534,10 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_mmu_eviction_lru;
           Alcotest.test_case "eviction writes back dirty" `Quick
             test_mmu_eviction_writes_back_dirty;
+          Alcotest.test_case "eviction mixed clean/dirty" `Quick
+            test_mmu_eviction_mixed_clean_dirty;
+          Alcotest.test_case "install_read prefetch copies" `Quick
+            test_mmu_install_read;
         ] );
       ( "node",
         [

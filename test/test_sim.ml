@@ -67,6 +67,57 @@ let prop_heap_interleaved =
               | None, _ :: _ | Some _, [] -> false))
         ops)
 
+(* Popped elements must become unreachable: the event queue holds
+   closures, and a pop that leaves a stale reference in the backing
+   array pins every captured value until the slot happens to be
+   overwritten.  Weak pointers observe collection directly. *)
+(* The pops live in [@inline never] helpers so the popped element is
+   not kept reachable by a stack slot of the test function itself
+   when the Gc runs. *)
+let[@inline never] heap_pop_expecting h want =
+  match Heap.pop h with
+  | Some (k, _) when k = want -> ()
+  | Some (k, _) -> Alcotest.failf "popped %d, want %d" k want
+  | None -> Alcotest.fail "empty heap"
+
+let[@inline never] heap_drain h =
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop h)
+  done
+
+let[@inline never] heap_fill h weak n tag =
+  for k = 0 to n - 1 do
+    let elt = (k, Bytes.make 64 tag) in
+    Weak.set weak k (Some elt);
+    Heap.push h elt
+  done
+
+let test_heap_pop_releases () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let n = 8 in
+  let weak = Weak.create n in
+  heap_fill h weak n 'x';
+  let alive () =
+    let count = ref 0 in
+    for k = 0 to n - 1 do
+      if Weak.check weak k then incr count
+    done;
+    !count
+  in
+  (* pop the minimum: it must be collectable while the rest live *)
+  heap_pop_expecting h 0;
+  Gc.full_major ();
+  check_int "only the popped element was collected" (n - 1) (alive ());
+  (* drain: every element must be collectable once the heap is empty *)
+  heap_drain h;
+  Gc.full_major ();
+  check_int "all collected after drain" 0 (alive ());
+  (* same through clear *)
+  heap_fill h weak n 'y';
+  Heap.clear h;
+  Gc.full_major ();
+  check_int "all collected after clear" 0 (alive ())
+
 (* ------------------------------------------------------------------ *)
 (* Engine basics *)
 
@@ -844,7 +895,11 @@ let () =
       ( "time",
         [ Alcotest.test_case "units and arithmetic" `Quick test_time_units ] );
       ( "heap",
-        [ Alcotest.test_case "basic order" `Quick test_heap_basic ] );
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "pop releases references" `Quick
+            test_heap_pop_releases;
+        ] );
       qsuite "heap-props" [ prop_heap_sorted; prop_heap_interleaved ];
       ( "engine",
         [
