@@ -131,6 +131,14 @@ let simulated_metrics ~quick =
       ~flush_sizes:(if quick then [ 1; 16 ] else [ 1; 4; 16 ])
       ()
   in
+  let tr =
+    Experiments.Transport.run
+      ~losses:(if quick then [ 0; 5 ] else [ 0; 1; 5; 10 ])
+      ~sizes:(if quick then [ 1400; 65536 ] else [ 1400; 8192; 65536 ])
+      ~calls:(if quick then 3 else 5)
+      ~invocations:(if quick then 20 else 50)
+      ()
+  in
   let fanout_points ps =
     j_arr
       (List.map
@@ -273,6 +281,40 @@ let simulated_metrics ~quick =
                            j_field "batched_rpcs" (j_int f.batched_rpcs);
                          ])
                      pb.flushes));
+           ]);
+      j_field "transport"
+        (j_obj
+           [
+             j_field "points"
+               (j_arr
+                  (List.map
+                     (fun p ->
+                       let open Experiments.Transport in
+                       j_obj
+                         [
+                           j_field "loss_pct" (j_int p.loss_pct);
+                           j_field "size" (j_int p.size);
+                           j_field "selective" (string_of_bool p.selective);
+                           j_field "adaptive" (string_of_bool p.adaptive);
+                           j_field "oks" (j_int p.oks);
+                           j_field "timeouts" (j_int p.timeouts);
+                           j_field "elapsed_ms" (j_num p.elapsed_ms);
+                           j_field "retrans" (j_int p.retrans);
+                           j_field "retrans_bytes" (j_int p.retrans_bytes);
+                           j_field "nacks" (j_int p.nacks);
+                           j_field "rto_ms" (j_num p.rto_ms);
+                         ])
+                     tr.Experiments.Transport.points));
+             j_field "bypass"
+               (let b = tr.Experiments.Transport.bypass in
+                j_obj
+                  [
+                    j_field "invocations"
+                      (j_int b.Experiments.Transport.invocations);
+                    j_field "local_ms" (j_num b.local_ms);
+                    j_field "remote_ms" (j_num b.remote_ms);
+                    j_field "local_invokes" (j_int b.local_invokes);
+                  ]);
            ]);
     ]
 

@@ -17,6 +17,7 @@ let all_ids =
     "f3";
     "fanout";
     "batching";
+    "transport";
     "faults";
     "ablations";
   ]
@@ -57,6 +58,14 @@ let run_one ~quick id =
       print_string
         (Experiments.Page_batching.report
            (Experiments.Page_batching.run ~windows ~flush_sizes ()))
+  | "transport" | "tr" ->
+      let losses = if quick then [ 0; 5 ] else [ 0; 1; 5; 10 ] in
+      let sizes = if quick then [ 1400; 65536 ] else [ 1400; 8192; 65536 ] in
+      let calls = if quick then 3 else 5 in
+      let invocations = if quick then 20 else 50 in
+      print_string
+        (Experiments.Transport.report
+           (Experiments.Transport.run ~losses ~sizes ~calls ~invocations ()))
   | "faults" ->
       let outcomes = Experiments.Faults.run_all () in
       print_string (Experiments.Faults.report outcomes);

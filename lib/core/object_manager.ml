@@ -42,6 +42,7 @@ type t = {
   per_thread : ((int * Ra.Sysname.t), (string, Value.t) Hashtbl.t) Hashtbl.t;
   visits : (int, Ra.Sysname.t list ref) Hashtbl.t;
   invoke_count : Sim.Stats.counter;
+  local_invokes : Sim.Stats.counter;
 }
 
 let cluster t = t.cl
@@ -285,18 +286,33 @@ and invoke t ~node ~thread_id ~origin ~txn ~obj ~entry arg =
   Ra.Isiba.compute node t.cl.Cluster.params.Ra.Params.invoke_return;
   result
 
-let invoke_remote (_ : t) ~from ~target ~thread_id ~origin ~txn ~obj ~entry arg =
-  let body = Invoke { obj; entry; arg; thread_id; origin; txn } in
-  let size = 64 + String.length entry + Value.size arg in
-  match
-    Ratp.Endpoint.call from.Ra.Node.endpoint ~dst:target
-      ~service:invoke_service ~size body
-  with
-  | Ok (Invoke_ok v) -> v
-  | Ok (Invoke_failed msg) -> raise (Ctx.Invoke_error msg)
-  | Ok _ -> raise (Ctx.Invoke_error "bad invocation reply")
-  | Error Ratp.Endpoint.Timeout ->
-      raise (Ctx.Invoke_error "compute server unreachable")
+(* Same-node fast lane: dispatching an invocation to the node we are
+   already on skips RaTP entirely — no serialization, fragmentation,
+   transport processing, or wire time; only the local invocation cost
+   (activation, dispatch, page touches) is paid.  Failures surface
+   exactly as the remote path reports them: any handler exception
+   becomes [Ctx.Invoke_error] carrying the printed exception, so
+   callers cannot tell the two paths apart semantically. *)
+let invoke_remote t ~from ~target ~thread_id ~origin ~txn ~obj ~entry arg =
+  if Net.Address.equal target from.Ra.Node.id then begin
+    Sim.Stats.incr t.local_invokes;
+    match invoke t ~node:from ~thread_id ~origin ~txn ~obj ~entry arg with
+    | v -> v
+    | exception e -> raise (Ctx.Invoke_error (Printexc.to_string e))
+  end
+  else begin
+    let body = Invoke { obj; entry; arg; thread_id; origin; txn } in
+    let size = 64 + String.length entry + Value.size arg in
+    match
+      Ratp.Endpoint.call from.Ra.Node.endpoint ~dst:target
+        ~service:invoke_service ~size body
+    with
+    | Ok (Invoke_ok v) -> v
+    | Ok (Invoke_failed msg) -> raise (Ctx.Invoke_error msg)
+    | Ok _ -> raise (Ctx.Invoke_error "bad invocation reply")
+    | Error Ratp.Endpoint.Timeout ->
+        raise (Ctx.Invoke_error "compute server unreachable")
+  end
 
 let create cl =
   let t =
@@ -308,6 +324,7 @@ let create cl =
       activating = Hashtbl.create 8;
       daemons_started = Ra.Sysname.Table.create 8;
       invoke_count = Sim.Stats.counter "om.invocations";
+      local_invokes = Sim.Stats.counter "om.local_invokes";
     }
   in
   Array.iter
@@ -454,3 +471,4 @@ let end_thread t thread_id =
   List.iter (Hashtbl.remove t.per_thread) stale
 
 let invocations t = Sim.Stats.value t.invoke_count
+let local_invocations t = Sim.Stats.value t.local_invokes

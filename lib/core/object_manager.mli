@@ -65,7 +65,13 @@ val invoke_remote :
   Value.t
 (** Ship the invocation to another compute server (the paper's
     RPC-like case) and wait for the result.  Raises
-    {!Ctx.Invoke_error} on remote failure. *)
+    {!Ctx.Invoke_error} on remote failure.
+
+    When [target] is [from]'s own address the transport is bypassed
+    entirely — no serialization, fragmentation, or wire traffic; the
+    invocation runs as a direct {!invoke} (counted by
+    {!local_invocations}) and failures still surface as
+    {!Ctx.Invoke_error} so the caller sees identical semantics. *)
 
 val visited : t -> int -> Ra.Sysname.t list
 (** Objects a thread has entered, most recent first (thread-manager
@@ -76,3 +82,7 @@ val end_thread : t -> int -> unit
 
 val invocations : t -> int
 (** Total entry-point executions performed through this manager. *)
+
+val local_invocations : t -> int
+(** Invocations dispatched through {!invoke_remote} that took the
+    same-node bypass instead of a RaTP transaction. *)

@@ -17,3 +17,4 @@ module Faults = Faults
 module Ablations = Ablations
 module Write_fault_fanout = Write_fault_fanout
 module Page_batching = Page_batching
+module Transport = Transport

@@ -1,0 +1,235 @@
+(* RaTP transport fast-path A/B (DESIGN.md §12).
+
+   Two measurements:
+
+   1. Bulk transfers under loss.  A client echoes messages of 1.4 K /
+      8 K / 64 K bytes off a server while a uniform per-frame loss
+      probability (0 / 1 / 5 / 10 %) chews on the segment, once per
+      arm of {selective retransmission, adaptive RTO}.  The headline
+      metric is retransmitted payload bytes: full-burst retransmission
+      resends every fragment of a 47-fragment message to recover one
+      lost frame, selective resends only what the peer is missing.
+
+   2. Same-node invocation bypass.  [Object_manager.invoke_remote]
+      whose target is the invoking node skips RaTP entirely; we time
+      the same warm invocation through the bypass and through a real
+      transport round trip to a second compute server.
+
+   The cluster runs the fast interconnect used by the page-batching
+   experiment (100 Mbit/s, light per-frame host costs), not the
+   calibrated 1988 network: retransmission policy matters most when
+   messages are many fragments long and the wire is not the
+   bottleneck.  The calibrated experiments (T1-T3) are untouched.
+   Everything draws from the simulation RNG, so each (grid, seed)
+   pair reproduces exactly. *)
+
+module E = Ratp.Endpoint
+
+type Ratp.Packet.body += Blob of int
+
+type point = {
+  loss_pct : int;
+  size : int;  (** request bytes; the reply echoes the same size *)
+  selective : bool;
+  adaptive : bool;
+  calls : int;
+  oks : int;
+  timeouts : int;
+  elapsed_ms : float;  (** total time for the call sequence *)
+  retrans : int;  (** client retransmission events (probes included) *)
+  retrans_bytes : int;  (** payload bytes resent, both directions *)
+  nacks : int;  (** server bitmap replies *)
+  rto_ms : float;  (** client's final RTO estimate for the server *)
+}
+
+type bypass = {
+  invocations : int;
+  local_ms : float;  (** mean warm invocation, same-node bypass *)
+  remote_ms : float;  (** mean warm invocation, RaTP round trip *)
+  local_invokes : int;  (** bypass counter after the local loop *)
+}
+
+type result = { points : point list; bypass : bypass }
+
+let transfer_service = 31
+
+let ether_config =
+  {
+    Net.Ethernet.default_config with
+    bandwidth_bps = 100_000_000;
+    send_cost_per_frame = Sim.Time.us 80;
+    recv_cost_per_frame = Sim.Time.us 80;
+    cost_per_byte_ns = 5;
+  }
+
+(* Generous attempt budget: at 10 % loss the point of the experiment
+   is how much each policy spends to finish, not whether it gives up. *)
+let ratp_config ~selective ~adaptive =
+  {
+    E.default_config with
+    selective_retransmit = selective;
+    adaptive_rto = adaptive;
+    max_attempts = 12;
+  }
+
+let measure_point ~loss_pct ~size ~selective ~adaptive ~calls =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng ~config:ether_config () in
+      let cfg = ratp_config ~selective ~adaptive in
+      let server =
+        Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:cfg ()
+      in
+      let client =
+        Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute ~ratp_config:cfg ()
+      in
+      E.serve server.Ra.Node.endpoint ~service:transfer_service
+        (fun ~src:_ body ->
+          match body with Blob n -> (Blob n, n) | _ -> (Ratp.Packet.Empty, 0));
+      Net.Fault.set_drop_probability
+        (Net.Ethernet.fault ether)
+        (float_of_int loss_pct /. 100.0);
+      let oks = ref 0 and timeouts = ref 0 in
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        match
+          E.call client.Ra.Node.endpoint ~dst:1 ~service:transfer_service
+            ~size (Blob size)
+        with
+        | Ok _ -> incr oks
+        | Error E.Timeout -> incr timeouts
+      done;
+      let elapsed_ms = Sim.Time.to_ms_f (Sim.Time.diff (Sim.now ()) t0) in
+      let rto_ms =
+        match
+          List.find_opt
+            (fun p -> p.E.peer = 1)
+            (E.peer_stats client.Ra.Node.endpoint)
+        with
+        | Some p -> p.E.rto_ms
+        | None -> 0.0
+      in
+      {
+        loss_pct;
+        size;
+        selective;
+        adaptive;
+        calls;
+        oks = !oks;
+        timeouts = !timeouts;
+        elapsed_ms;
+        retrans = E.retransmissions client.Ra.Node.endpoint;
+        retrans_bytes =
+          E.retransmitted_bytes client.Ra.Node.endpoint
+          + E.retransmitted_bytes server.Ra.Node.endpoint;
+        nacks = E.nacks_sent server.Ra.Node.endpoint;
+        rto_ms;
+      })
+
+let null_class =
+  Clouds.Obj_class.define ~name:"transport-null"
+    [ Clouds.Obj_class.entry "null" (fun _ctx _ -> Clouds.Value.Unit) ]
+
+let measure_bypass ~invocations =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let sys = Clouds.boot eng ~compute:2 ~data:1 ~workstations:0 () in
+      Clouds.Cluster.register_class sys.Clouds.cluster null_class;
+      let n0 = sys.Clouds.cluster.Clouds.Cluster.compute_nodes.(0) in
+      let n1 = sys.Clouds.cluster.Clouds.Cluster.compute_nodes.(1) in
+      let obj =
+        Clouds.Object_manager.create_object sys.Clouds.om ~on:n0
+          ~class_name:"transport-null" Clouds.Value.Unit
+      in
+      let dispatch ~target =
+        ignore
+          (Clouds.Object_manager.invoke_remote sys.Clouds.om ~from:n0
+             ~target ~thread_id:0 ~origin:None ~txn:None ~obj ~entry:"null"
+             Clouds.Value.Unit)
+      in
+      (* warm both compute servers so neither loop pays activation *)
+      dispatch ~target:n0.Ra.Node.id;
+      dispatch ~target:n1.Ra.Node.id;
+      let time_loop ~target =
+        let t0 = Sim.now () in
+        for _ = 1 to invocations do
+          dispatch ~target
+        done;
+        Sim.Time.to_ms_f (Sim.Time.diff (Sim.now ()) t0)
+        /. float_of_int invocations
+      in
+      let before = Clouds.Object_manager.local_invocations sys.Clouds.om in
+      let local_ms = time_loop ~target:n0.Ra.Node.id in
+      let local_invokes =
+        Clouds.Object_manager.local_invocations sys.Clouds.om - before
+      in
+      let remote_ms = time_loop ~target:n1.Ra.Node.id in
+      { invocations; local_ms; remote_ms; local_invokes })
+
+let run ?(losses = [ 0; 1; 5; 10 ]) ?(sizes = [ 1400; 8192; 65536 ])
+    ?(calls = 5) ?(invocations = 50) () =
+  let arms =
+    [ (false, false); (false, true); (true, false); (true, true) ]
+  in
+  let points =
+    List.concat_map
+      (fun loss_pct ->
+        List.concat_map
+          (fun size ->
+            List.map
+              (fun (selective, adaptive) ->
+                measure_point ~loss_pct ~size ~selective ~adaptive ~calls)
+              arms)
+          sizes)
+      losses
+  in
+  { points; bypass = measure_bypass ~invocations }
+
+let arm_name p =
+  Printf.sprintf "%s/%s"
+    (if p.selective then "selective" else "full-burst")
+    (if p.adaptive then "adaptive" else "fixed")
+
+let report r =
+  let point_rows =
+    List.map
+      (fun p ->
+        {
+          Report.label =
+            Printf.sprintf "loss %2d%%, %5d B, %s" p.loss_pct p.size
+              (arm_name p);
+          paper = "-";
+          measured =
+            Printf.sprintf "%d B resent, %s" p.retrans_bytes
+              (Report.ms p.elapsed_ms);
+          note =
+            Printf.sprintf "%d/%d ok, %d retrans, %d nacks" p.oks p.calls
+              p.retrans p.nacks;
+        })
+      r.points
+  in
+  let b = r.bypass in
+  let bypass_rows =
+    [
+      {
+        Report.label = "same-node invocation (bypass)";
+        paper = "-";
+        measured = Report.ms b.local_ms;
+        note =
+          Printf.sprintf "%d invocations, %d took the bypass" b.invocations
+            b.local_invokes;
+      };
+      {
+        Report.label = "cross-node invocation (RaTP)";
+        paper = "-";
+        measured = Report.ms b.remote_ms;
+        note =
+          Printf.sprintf "%.1fx the bypass"
+            (if b.local_ms > 0.0 then b.remote_ms /. b.local_ms else 0.0);
+      };
+    ]
+  in
+  Report.table
+    ~title:
+      "Transport: selective retransmission, adaptive RTO, same-node bypass"
+    (point_rows @ bypass_rows)

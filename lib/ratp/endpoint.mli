@@ -7,6 +7,16 @@
     suppression through a server-side transaction cache, and explicit
     acknowledgement of replies so servers can release state early.
 
+    Retransmission is {e selective} by default (DESIGN.md §12): a
+    retry timeout sends a one-frame probe instead of the full burst;
+    the peer answers with a received-fragment bitmap ({!Packet.Nack})
+    or with just the missing reply fragments, so a single lost
+    fragment of a large message costs one fragment on the wire, not
+    the whole burst.  The retry timer is fixed by default; with
+    [adaptive_rto] it follows a per-destination Jacobson/Karels
+    SRTT/RTTVAR estimate (Karn's rule: retransmitted transactions
+    contribute no samples).
+
     Each endpoint owns the NIC of one machine and runs a receive loop
     process; server handlers run in their own processes so a slow
     handler never blocks reception. *)
@@ -20,12 +30,22 @@ type config = {
   proc_cost : Sim.Time.span;
       (** protocol processing charged per transaction step (request
           issue, request dispatch, reply issue, reply consumption) *)
+  selective_retransmit : bool;
+      (** on timeout, probe for the peer's received-fragment bitmap
+          and resend only what is missing (default on; loss-free
+          packet streams are identical to the full-burst path) *)
+  adaptive_rto : bool;
+      (** derive the retry timer from the per-destination SRTT/RTTVAR
+          estimate instead of [retry_initial] (default off; the
+          estimator is maintained and surfaced either way) *)
+  rto_min : Sim.Time.span;  (** adaptive RTO clamp, lower bound *)
+  rto_max : Sim.Time.span;  (** adaptive RTO clamp, upper bound *)
 }
 
 val default_config : config
 (** Calibrated so that a null transaction costs about twice the raw
     72-byte Ethernet round trip, matching the paper's 4.8 ms vs
-    2.4 ms. *)
+    2.4 ms.  [selective_retransmit] on, [adaptive_rto] off. *)
 
 type error = Timeout
 (** The transaction gave up after [max_attempts]. *)
@@ -67,13 +87,44 @@ val call :
 
 val restart : t -> unit
 (** After a machine crash ({!Sim.Engine.kill_group} plus NIC detach),
-    bring the endpoint back up: discard all transaction state and
-    spawn a fresh receive loop.  The NIC must be reattached by the
-    caller. *)
+    bring the endpoint back up: discard all transaction state (client
+    table and server cache) and spawn a fresh receive loop.  The
+    sequence space and RTT estimators are kept — reusing a tid would
+    defeat peers' duplicate suppression.  The NIC must be reattached
+    by the caller. *)
 
 val retransmissions : t -> int
 (** Request retransmissions performed by this endpoint (all
-    transactions). *)
+    transactions; probes included). *)
+
+val retransmitted_bytes : t -> int
+(** Message payload bytes this endpoint has put on the wire more than
+    once — request fragments resent by the client side plus reply
+    fragments resent by the server side.  The headline metric of the
+    selective-retransmission A/B ({!Experiments.Transport}). *)
+
+val nacks_sent : t -> int
+(** Selective-retransmission bitmaps ({!Packet.Nack}) sent by the
+    server side of this endpoint. *)
 
 val transactions : t -> int
 (** Completed client transactions. *)
+
+val server_cache_size : t -> int
+(** Entries in the server-side transaction table (accumulating
+    bursts, running handlers, cached replies).  Introspection for
+    tests: abandoned bursts and acknowledged replies must not pin
+    entries past [server_cache_ttl]. *)
+
+type peer_stats = {
+  peer : Net.Address.t;
+  retrans : int;  (** retransmission events toward this peer *)
+  nacks : int;  (** Nacks sent to this peer *)
+  rto_ms : float;  (** current RTO estimate for this peer *)
+}
+
+val peer_stats : t -> peer_stats list
+(** Per-destination transport counters ([ratp.retrans], [ratp.nacks],
+    [ratp.rto_us] — backed by {!Sim.Stats.keyed}), sorted by peer.
+    Lets an experiment attribute retransmissions to the peer that
+    caused them. *)

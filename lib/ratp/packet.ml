@@ -1,9 +1,13 @@
 type body = ..
 type body += Ping of string
+type body += Empty
+type body += Bitmap of bool array
 
 type tid = { origin : Net.Address.t; seq : int }
 
-type kind = Request | Reply | Ack | Busy
+type kind = Request | Reply | Ack | Busy | Probe | Nack
+
+let bitmap_bytes n = (n + 7) / 8
 
 type t = {
   tid : tid;

@@ -13,6 +13,16 @@ type body = ..
 type body += Ping of string
 (** Simple test/diagnostic body. *)
 
+type body += Empty
+(** No payload: acks, busy notifications, bitmap-less probes. *)
+
+type body += Bitmap of bool array
+(** Received-fragment bitmap carried by {!Probe} (the reply fragments
+    the client already holds) and {!Nack} (the request fragments the
+    server already holds).  [bit.(i)] is true when fragment [i] has
+    been received; an empty array means "nothing received / state
+    unknown".  On the wire it costs {!bitmap_bytes} of payload. *)
+
 type tid = { origin : Net.Address.t; seq : int }
 
 type kind =
@@ -22,6 +32,15 @@ type kind =
   | Busy
       (** server-to-client: the transaction is being processed; be
           patient (VMTP-style busy notification) *)
+  | Probe
+      (** client-to-server retransmit probe: "what are you missing?"
+        Carries the client's received-reply bitmap so a server whose
+        reply was partially lost resends only the missing reply
+        fragments. *)
+  | Nack
+      (** server-to-client selective-retransmission request: carries
+        the server's received-request bitmap so the client resends
+        only the missing request fragments. *)
 
 type t = {
   tid : tid;
@@ -45,5 +64,9 @@ val frag_bytes : frag_payload:int -> total_size:int -> int -> int
 val nfrags_of : frag_payload:int -> int -> int
 (** Number of fragments needed for a message of the given size
     (at least 1). *)
+
+val bitmap_bytes : int -> int
+(** Wire size of an [n]-fragment bitmap: one bit per fragment,
+    rounded up to whole bytes. *)
 
 val pp_tid : Format.formatter -> tid -> unit

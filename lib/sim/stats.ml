@@ -79,3 +79,28 @@ let incr c = c.v <- c.v + 1
 let incr_by c k = c.v <- c.v + k
 let value c = c.v
 let counter_name c = c.c_name
+
+(* Counters keyed by a small integer key — in practice a peer address,
+   so a transport can attribute retransmissions or timeouts to the
+   destination that caused them.  Reads are sorted by key so reports
+   and JSON stay deterministic regardless of hash order. *)
+
+type keyed = { k_name : string; tbl : (int, int) Hashtbl.t }
+
+let keyed k_name = { k_name; tbl = Hashtbl.create 8 }
+
+let kadd k key n =
+  let v = match Hashtbl.find_opt k.tbl key with Some v -> v | None -> 0 in
+  Hashtbl.replace k.tbl key (v + n)
+
+let kincr k key = kadd k key 1
+let kset k key v = Hashtbl.replace k.tbl key v
+
+let kvalue k key =
+  match Hashtbl.find_opt k.tbl key with Some v -> v | None -> 0
+
+let kitems k =
+  Hashtbl.fold (fun key v acc -> (key, v) :: acc) k.tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let keyed_name k = k.k_name

@@ -306,6 +306,41 @@ let test_remote_invocation () =
            false
          with Ctx.Invoke_error _ -> true))
 
+let test_same_node_bypass () =
+  with_system (fun sys ->
+      Cluster.register_class sys.cluster rectangle;
+      let rect = Object_manager.create_object sys.om ~class_name:"rectangle" Value.Unit in
+      let n0 = sys.cluster.Cluster.compute_nodes.(0) in
+      ignore
+        (direct_invoke sys ~node:n0 rect "size"
+           (Value.Pair (Value.Int 5, Value.Int 6)));
+      (* dispatching to our own node must skip RaTP: no new frames on
+         the wire (the object is already resident), and the bypass
+         counter ticks *)
+      let before_frames =
+        Net.Ethernet.frames_sent sys.cluster.Cluster.ether
+      in
+      let before_local = Object_manager.local_invocations sys.om in
+      let v =
+        Object_manager.invoke_remote sys.om ~from:n0 ~target:n0.Ra.Node.id
+          ~thread_id:1 ~origin:None ~txn:None ~obj:rect ~entry:"area"
+          Value.Unit
+      in
+      check_int "bypass result" 30 (Value.to_int v);
+      check_int "one bypass counted" (before_local + 1)
+        (Object_manager.local_invocations sys.om);
+      check_int "no frames on the wire" before_frames
+        (Net.Ethernet.frames_sent sys.cluster.Cluster.ether);
+      (* failures keep remote semantics: Invoke_error, not raw raise *)
+      check_bool "bypass error matches remote path" true
+        (try
+           ignore
+             (Object_manager.invoke_remote sys.om ~from:n0
+                ~target:n0.Ra.Node.id ~thread_id:1 ~origin:None ~txn:None
+                ~obj:rect ~entry:"nonesuch" Value.Unit);
+           false
+         with Ctx.Invoke_error _ -> true))
+
 let test_warm_vs_cold_invocation () =
   with_system (fun sys ->
       Cluster.register_class sys.cluster rectangle;
@@ -604,6 +639,7 @@ let () =
           Alcotest.test_case "delete" `Quick test_delete_object;
           Alcotest.test_case "nested invocation" `Quick test_nested_invocation;
           Alcotest.test_case "remote invocation" `Quick test_remote_invocation;
+          Alcotest.test_case "same-node bypass" `Quick test_same_node_bypass;
           Alcotest.test_case "warm vs cold invocation" `Quick
             test_warm_vs_cold_invocation;
         ] );

@@ -165,6 +165,59 @@ let test_batching_deterministic () =
   let b = Experiments.Page_batching.run ~windows:[ 0; 2 ] ~flush_sizes:[ 4 ] () in
   check_bool "identical results" true (a = b)
 
+let test_transport_acceptance () =
+  let r =
+    Experiments.Transport.run ~losses:[ 0; 5 ] ~sizes:[ 65536 ] ~calls:3
+      ~invocations:10 ()
+  in
+  let open Experiments.Transport in
+  let point ~loss_pct ~selective ~adaptive =
+    List.find
+      (fun p ->
+        p.loss_pct = loss_pct && p.selective = selective
+        && p.adaptive = adaptive)
+      r.points
+  in
+  (* loss-free: no arm retransmits anything, and all four arms report
+     identical timing (the flags must be invisible without loss) *)
+  List.iter
+    (fun p ->
+      if p.loss_pct = 0 then begin
+        check_bool "loss-free arm resends nothing" true (p.retrans_bytes = 0);
+        check_bool "loss-free arm all ok" true (p.oks = p.calls)
+      end)
+    r.points;
+  let clean = point ~loss_pct:0 ~selective:true ~adaptive:false in
+  let clean_full = point ~loss_pct:0 ~selective:false ~adaptive:false in
+  check_bool "loss-free timing identical across arms" true
+    (clean.elapsed_ms = clean_full.elapsed_ms);
+  (* at 5% loss selective must resend far fewer bytes *)
+  let sel = point ~loss_pct:5 ~selective:true ~adaptive:false in
+  let full = point ~loss_pct:5 ~selective:false ~adaptive:false in
+  check_bool "full-burst resends under loss" true (full.retrans_bytes > 0);
+  check_bool
+    (Printf.sprintf "selective %dB vs full-burst %dB" sel.retrans_bytes
+       full.retrans_bytes)
+    true
+    (sel.retrans_bytes * 2 <= full.retrans_bytes);
+  check_bool "selective path sent nacks or probes" true
+    (sel.nacks > 0 || sel.retrans > 0);
+  (* the bypass must beat a real transport round trip *)
+  let b = r.bypass in
+  check_bool "every local dispatch took the bypass" true
+    (b.local_invokes = b.invocations);
+  check_bool
+    (Printf.sprintf "bypass %.2fms < remote %.2fms" b.local_ms b.remote_ms)
+    true
+    (b.local_ms < b.remote_ms)
+
+let test_transport_deterministic () =
+  let run () =
+    Experiments.Transport.run ~losses:[ 5 ] ~sizes:[ 8192; 65536 ] ~calls:2
+      ~invocations:5 ()
+  in
+  check_bool "identical results" true (run () = run ())
+
 let () =
   Alcotest.run "experiments"
     [
@@ -191,5 +244,12 @@ let () =
             test_batching_acceptance;
           Alcotest.test_case "deterministic" `Quick
             test_batching_deterministic;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "selective and bypass acceptance" `Quick
+            test_transport_acceptance;
+          Alcotest.test_case "deterministic" `Quick
+            test_transport_deterministic;
         ] );
     ]

@@ -315,6 +315,303 @@ let test_busy_does_not_burn_attempts () =
   check_int "still a single transaction" 1 txns
 
 (* ------------------------------------------------------------------ *)
+(* Selective retransmission and adaptive RTO *)
+
+(* The fast interconnect used by Experiments.Transport: a 64 K burst
+   finishes in a few ms, well inside the 50 ms retry timer, so the
+   retry path reacts to loss rather than to its own wire time. *)
+let fast_ether_config =
+  {
+    Net.Ethernet.default_config with
+    bandwidth_bps = 100_000_000;
+    send_cost_per_frame = Time.us 80;
+    recv_cost_per_frame = Time.us 80;
+    cost_per_byte_ns = 5;
+  }
+
+let with_fast_pair ~config f =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng ~config:fast_ether_config () in
+      let a = Endpoint.create ether ~addr:1 ~config () in
+      let b = Endpoint.create ether ~addr:2 ~config () in
+      f ether a b)
+
+let transfer_retrans_bytes ~selective =
+  let config =
+    {
+      Endpoint.default_config with
+      selective_retransmit = selective;
+      max_attempts = 12;
+    }
+  in
+  with_fast_pair ~config (fun ether a b ->
+      serve_echo b;
+      Net.Fault.set_drop_probability (Net.Ethernet.fault ether) 0.05;
+      (match Endpoint.call a ~dst:2 ~service:echo_service ~size:65536 (Blob 65536) with
+      | Ok (Blob 65536) -> ()
+      | Ok _ -> Alcotest.fail "corrupt echo"
+      | Error _ -> Alcotest.fail "64K transfer gave up at 5% loss");
+      Endpoint.retransmitted_bytes a + Endpoint.retransmitted_bytes b)
+
+let test_selective_saves_bytes () =
+  (* The PR's acceptance pin: at 5% loss a 64K transfer must resend
+     at least 5x fewer payload bytes with selective retransmission
+     than with the legacy full burst. *)
+  let full = transfer_retrans_bytes ~selective:false in
+  let selective = transfer_retrans_bytes ~selective:true in
+  check_bool "full-burst path resends something" true (full > 0);
+  check_bool
+    (Printf.sprintf "selective %dB vs full %dB: >= 5x saving" selective full)
+    true
+    (selective * 5 <= full)
+
+let kind_tag = function
+  | Packet.Request -> "req"
+  | Packet.Reply -> "rep"
+  | Packet.Ack -> "ack"
+  | Packet.Busy -> "busy"
+  | Packet.Probe -> "probe"
+  | Packet.Nack -> "nack"
+
+(* Every RaTP frame on the wire, as "time src>dst kind frag/nfrags
+   size", recorded through a pass-through fault filter. *)
+let tap_frames ether log =
+  (* runs at frame-delivery time, outside any process: ask the engine
+     for the clock rather than the current process *)
+  let eng = Net.Ethernet.engine ether in
+  Net.Fault.set_filter (Net.Ethernet.fault ether) (fun ~src ~dst frame ->
+      (match frame.Net.Frame.payload with
+      | Packet.Ratp pkt ->
+          Buffer.add_string log
+            (Printf.sprintf "%d %d>%d %s %d/%d %d\n" (Engine.now eng) src dst
+               (kind_tag pkt.Packet.kind) pkt.frag pkt.nfrags pkt.total_size)
+      | _ -> ());
+      true)
+
+let lossfree_trace ~selective =
+  let config =
+    { Endpoint.default_config with selective_retransmit = selective }
+  in
+  with_pair ~config (fun ether a b ->
+      serve_echo b;
+      let log = Buffer.create 1024 in
+      tap_frames ether log;
+      List.iter
+        (fun size ->
+          match Endpoint.call a ~dst:2 ~service:echo_service ~size (Blob size) with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "loss-free call timed out")
+        [ 8; 1400; 4000; 8192 ];
+      Sim.sleep (Time.ms 20);
+      Buffer.contents log)
+
+let test_lossfree_trace_identical () =
+  (* With no loss the selective machinery must be invisible: the
+     packet stream is bit-identical whether the flag is on or off,
+     which is what keeps the T1-T3 calibration untouched. *)
+  let on = lossfree_trace ~selective:true in
+  let off = lossfree_trace ~selective:false in
+  check_bool "trace is non-trivial" true (String.length on > 100);
+  Alcotest.(check string) "identical packet traces" off on
+
+let test_busy_carries_no_payload () =
+  (* Regression: Busy replies used to echo the full request body back
+     at the client; they must ship an empty body and zero size. *)
+  let busy_frames, bad_busy =
+    with_pair (fun ether a b ->
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            Sim.sleep (Time.ms 200);
+            (body, 8));
+        let busy_frames = ref 0 and bad_busy = ref 0 in
+        Net.Fault.set_filter (Net.Ethernet.fault ether)
+          (fun ~src:_ ~dst:_ frame ->
+            (match frame.Net.Frame.payload with
+            | Packet.Ratp { Packet.kind = Busy; total_size; body; _ } ->
+                incr busy_frames;
+                if total_size <> 0 || body <> Packet.Empty then incr bad_busy
+            | _ -> ());
+            true);
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:4000 (Blob 4000) with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "slow handler should still reply");
+        (!busy_frames, !bad_busy))
+  in
+  check_bool "server sent at least one Busy" true (busy_frames > 0);
+  check_int "every Busy was empty" 0 bad_busy
+
+let test_abandoned_burst_reaped () =
+  (* An Accumulating entry for a burst the client stopped retrying
+     must not pin the server table forever: it is reaped once it has
+     been idle for server_cache_ttl. *)
+  let during, after =
+    let config =
+      {
+        Endpoint.default_config with
+        max_attempts = 1;
+        server_cache_ttl = Time.ms 200;
+      }
+    in
+    with_fast_pair ~config (fun ether a b ->
+        serve_echo b;
+        (* the last request fragment never arrives, so the server
+           accumulates forever and the client gives up after its
+           single attempt *)
+        Net.Fault.set_filter (Net.Ethernet.fault ether)
+          (fun ~src:_ ~dst:_ frame ->
+            match frame.Net.Frame.payload with
+            | Packet.Ratp { Packet.kind = Request; frag = 2; _ } -> false
+            | _ -> true);
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:4000 (Blob 4000) with
+        | Error Endpoint.Timeout -> ()
+        | Ok _ -> Alcotest.fail "truncated burst must time out");
+        let during = Endpoint.server_cache_size b in
+        Sim.sleep (Time.ms 700);
+        (during, Endpoint.server_cache_size b))
+  in
+  check_int "partial burst held while fresh" 1 during;
+  check_int "partial burst reaped after ttl" 0 after
+
+let test_duplicate_reply_after_ack () =
+  (* Every server-to-client frame is duplicated: the reply burst and
+     its duplicates race the client's Ack.  Late duplicates must be
+     ignored (the transaction is gone on both ends), not corrupt the
+     next transaction or re-run the handler. *)
+  let executions, oks =
+    with_pair (fun ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            incr count;
+            (body, 4000));
+        Net.Fault.set_link (Net.Ethernet.fault ether) 2 1
+          { Net.Fault.pristine with dup = 1.0 };
+        let oks = ref 0 in
+        for _ = 1 to 3 do
+          match Endpoint.call a ~dst:2 ~service:echo_service ~size:16 (Blob 16) with
+          | Ok _ -> incr oks
+          | Error _ -> ()
+        done;
+        Sim.sleep (Time.ms 50);
+        (!count, !oks))
+  in
+  check_int "all calls succeed through duplication" 3 oks;
+  check_int "handler ran once per transaction" 3 executions
+
+let test_restart_keeps_sequence_space () =
+  (* A restarted client must not reuse transaction ids: a reused tid
+     would hit the server's duplicate-suppression cache and be served
+     a stale reply instead of executing.  Acks are dropped so the
+     server's cached replies stay alive across the restart. *)
+  let executions, oks, cached_before, cached_after =
+    with_pair (fun ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ _ ->
+            incr count;
+            (Echo (string_of_int !count), 8));
+        Net.Fault.set_filter (Net.Ethernet.fault ether)
+          (fun ~src:_ ~dst:_ frame ->
+            match frame.Net.Frame.payload with
+            | Packet.Ratp { Packet.kind = Ack; _ } -> false
+            | _ -> true);
+        let oks = ref 0 in
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x") with
+        | Ok (Echo "1") -> incr oks
+        | Ok _ | Error _ -> ());
+        let cached_before = Endpoint.server_cache_size b in
+        Endpoint.restart a;
+        (match Endpoint.call a ~dst:2 ~service:echo_service ~size:8 (Echo "x") with
+        | Ok (Echo "2") -> incr oks
+        | Ok (Echo _) -> Alcotest.fail "stale cached reply: tid was reused"
+        | Ok _ | Error _ -> ());
+        (* a restarted *server* forgets its transaction cache *)
+        Endpoint.restart b;
+        (!count, !oks, cached_before, Endpoint.server_cache_size b))
+  in
+  check_int "both calls executed" 2 executions;
+  check_int "both calls succeeded" 2 oks;
+  check_bool "un-acked reply was cached" true (cached_before >= 1);
+  check_int "server restart clears the cache" 0 cached_after
+
+let test_selective_under_reorder_and_dup () =
+  (* Selective retransmission must stay correct when the network
+     reorders and duplicates as well as drops: every call completes,
+     every handler runs exactly once. *)
+  let executions, oks, nacks =
+    let config =
+      { Endpoint.default_config with max_attempts = 12 }
+    in
+    with_fast_pair ~config (fun ether a b ->
+        let count = ref 0 in
+        Endpoint.serve b ~service:echo_service (fun ~src:_ body ->
+            incr count;
+            (body, 8192));
+        let profile =
+          {
+            Net.Fault.pristine with
+            drop = 0.05;
+            dup = 0.2;
+            reorder = 0.3;
+            reorder_by = Time.ms 5;
+          }
+        in
+        Net.Fault.set_link_both (Net.Ethernet.fault ether) 1 2 profile;
+        let oks = ref 0 in
+        for _ = 1 to 10 do
+          match
+            Endpoint.call a ~dst:2 ~service:echo_service ~size:8192 (Blob 8192)
+          with
+          | Ok (Blob 8192) -> incr oks
+          | Ok _ -> Alcotest.fail "corrupt reply under reorder+dup"
+          | Error _ -> Alcotest.fail "call gave up under recoverable faults"
+        done;
+        (!count, !oks, Endpoint.nacks_sent b))
+  in
+  check_int "all calls completed" 10 oks;
+  check_int "at-most-once held" 10 executions;
+  check_bool "selective path was exercised" true (nacks > 0)
+
+let test_adaptive_rto_and_karn () =
+  let config =
+    { Endpoint.default_config with adaptive_rto = true; max_attempts = 12 }
+  in
+  with_fast_pair ~config (fun ether a b ->
+      serve_echo b;
+      let rto_of e =
+        match Endpoint.peer_stats e with
+        | [ { Endpoint.peer = 2; rto_ms; _ } ] -> rto_ms
+        | _ -> Alcotest.fail "expected stats for exactly peer 2"
+      in
+      for _ = 1 to 5 do
+        match Endpoint.call a ~dst:2 ~service:echo_service ~size:64 (Echo "x") with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "loss-free call timed out"
+      done;
+      let settled = rto_of a in
+      (* sub-ms RTT on the fast wire: the estimate must undercut the
+         50 ms fixed timer but stay above the 2 ms clamp *)
+      check_bool
+        (Printf.sprintf "adapted rto %.2fms below fixed 50ms" settled)
+        true
+        (settled < 50.0 && settled >= 2.0);
+      (* Karn's rule: a transaction that retransmitted contributes no
+         sample, so the estimate is unchanged afterwards *)
+      let dropped = ref false in
+      Net.Fault.set_filter (Net.Ethernet.fault ether)
+        (fun ~src:_ ~dst:_ frame ->
+          match frame.Net.Frame.payload with
+          | Packet.Ratp { Packet.kind = Request; _ } when not !dropped ->
+              dropped := true;
+              false
+          | _ -> true);
+      (match Endpoint.call a ~dst:2 ~service:echo_service ~size:64 (Echo "y") with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "retried call timed out");
+      check_bool "first transmission was dropped" true !dropped;
+      Alcotest.(check (float 0.0))
+        "Karn: no sample from a retransmitted transaction" settled (rto_of a);
+      check_bool "the retry was recorded" true (Endpoint.retransmissions a > 0))
+
+(* ------------------------------------------------------------------ *)
 (* Comparators: the paper's 8K transfer comparison *)
 
 let measure f =
@@ -399,6 +696,25 @@ let () =
             test_selective_fragment_loss;
           Alcotest.test_case "busy does not burn attempts" `Quick
             test_busy_does_not_burn_attempts;
+        ] );
+      ( "selective-retransmit",
+        [
+          Alcotest.test_case "64K at 5% loss: 5x fewer bytes resent" `Quick
+            test_selective_saves_bytes;
+          Alcotest.test_case "loss-free trace identical on/off" `Quick
+            test_lossfree_trace_identical;
+          Alcotest.test_case "busy carries no payload" `Quick
+            test_busy_carries_no_payload;
+          Alcotest.test_case "abandoned burst reaped" `Quick
+            test_abandoned_burst_reaped;
+          Alcotest.test_case "duplicate reply after ack" `Quick
+            test_duplicate_reply_after_ack;
+          Alcotest.test_case "restart keeps sequence space" `Quick
+            test_restart_keeps_sequence_space;
+          Alcotest.test_case "selective under reorder+dup" `Quick
+            test_selective_under_reorder_and_dup;
+          Alcotest.test_case "adaptive rto and karn's rule" `Quick
+            test_adaptive_rto_and_karn;
         ] );
       ( "comparators",
         [
