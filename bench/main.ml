@@ -139,6 +139,14 @@ let simulated_metrics ~quick =
       ~invocations:(if quick then 20 else 50)
       ()
   in
+  let mem =
+    Experiments.Membership.run
+      ~arms:
+        (if quick then Experiments.Membership.quick_arms
+         else Experiments.Membership.full_arms)
+      ~ops:(if quick then 32 else 48)
+      ()
+  in
   let fanout_points ps =
     j_arr
       (List.map
@@ -281,6 +289,33 @@ let simulated_metrics ~quick =
                            j_field "batched_rpcs" (j_int f.batched_rpcs);
                          ])
                      pb.flushes));
+           ]);
+      j_field "membership"
+        (j_obj
+           [
+             j_field "arms"
+               (j_arr
+                  (List.map
+                     (fun o ->
+                       let open Experiments.Membership in
+                       j_obj
+                         [
+                           j_field "arm" (j_str o.arm);
+                           j_field "replication" (j_int o.replication);
+                           j_field "kills" (j_int o.kills);
+                           j_field "ops" (j_int o.ops);
+                           j_field "oks" (j_int o.oks);
+                           j_field "retried" (j_int o.retried);
+                           j_field "failed" (j_int o.failed);
+                           j_field "detect_ms" (j_num o.detect_ms);
+                           j_field "unavail_ms" (j_num o.unavail_ms);
+                           j_field "reheal_ms" (j_num o.reheal_ms);
+                           j_field "pages_copied" (j_int o.pages_copied);
+                           j_field "lost_writes" (j_int o.lost_writes);
+                           j_field "final_epoch" (j_int o.final_epoch);
+                           j_field "trace" (j_str o.trace);
+                         ])
+                     mem));
            ]);
       j_field "transport"
         (j_obj

@@ -19,6 +19,7 @@ let all_ids =
     "batching";
     "transport";
     "faults";
+    "membership";
     "ablations";
   ]
 
@@ -71,6 +72,17 @@ let run_one ~quick id =
       print_string (Experiments.Faults.report outcomes);
       List.iter
         (fun o -> Printf.printf "  %s\n" (Experiments.Faults.summary o))
+        outcomes
+  | "membership" | "mem" ->
+      let arms =
+        if quick then Experiments.Membership.quick_arms
+        else Experiments.Membership.full_arms
+      in
+      let ops = if quick then 32 else 48 in
+      let outcomes = Experiments.Membership.run ~arms ~ops () in
+      print_string (Experiments.Membership.report outcomes);
+      List.iter
+        (fun o -> Printf.printf "  %s\n" (Experiments.Membership.summary o))
         outcomes
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
   | other -> Printf.eprintf "unknown experiment %S (know: %s)\n" other (String.concat " " all_ids)

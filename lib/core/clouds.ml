@@ -20,17 +20,18 @@ module Cluster = Cluster
 module Object_manager = Object_manager
 module Thread = Thread
 module Name_server = Name_server
+module Replicator = Replicator
 
 type system = {
   cluster : Cluster.t;
   om : Object_manager.t;
 }
 
-let boot eng ?params ?ratp_config ?ether_config ~compute ~data ~workstations ()
-    =
+let boot eng ?params ?ratp_config ?ether_config ?replication ~compute ~data
+    ~workstations () =
   let cluster =
-    Cluster.create eng ?params ?ratp_config ?ether_config ~compute ~data
-      ~workstations ()
+    Cluster.create eng ?params ?ratp_config ?ether_config ?replication ~compute
+      ~data ~workstations ()
   in
   let om = Object_manager.create cluster in
   { cluster; om }

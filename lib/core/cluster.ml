@@ -2,6 +2,7 @@ type t = {
   eng : Sim.Engine.t;
   ether : Net.Ethernet.t;
   params : Ra.Params.t;
+  replication : int;
   compute_nodes : Ra.Node.t array;
   clients : Dsm.Dsm_client.t array;
   data_nodes : Ra.Node.t array;
@@ -10,6 +11,7 @@ type t = {
   classes : (string, Obj_class.t) Hashtbl.t;
   class_code : (string, Ra.Sysname.t) Hashtbl.t;
   seg_home : Net.Address.t Ra.Sysname.Table.t;
+  seg_replicas : Net.Address.t list Ra.Sysname.Table.t;
   obj_home : Net.Address.t Ra.Sysname.Table.t;
   volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
   mutable scheduler : [ `Round_robin | `Least_loaded ];
@@ -20,6 +22,7 @@ type t = {
   mutable entry_wrapper :
     Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
   mutable name_server : Ra.Sysname.t option;
+  mutable membership : Membership.Monitor.t option;
 }
 
 let locate_segment t seg =
@@ -28,6 +31,53 @@ let locate_segment t seg =
   | None -> raise (Ra.Partition.No_segment seg)
 
 let add_segment t seg home = Ra.Sysname.Table.replace t.seg_home seg home
+
+let replicas_of t seg =
+  match Ra.Sysname.Table.find_opt t.seg_replicas seg with
+  | Some l -> l
+  | None -> (
+      match Ra.Sysname.Table.find_opt t.seg_home seg with
+      | Some home -> [ home ]
+      | None -> [])
+
+(* Record the full replica list of a segment; the head is the primary
+   every client resolves to. *)
+let set_replicas t seg replicas =
+  match replicas with
+  | [] -> invalid_arg "Cluster.set_replicas: empty replica list"
+  | primary :: _ ->
+      Ra.Sysname.Table.replace t.seg_replicas seg replicas;
+      Ra.Sysname.Table.replace t.seg_home seg primary
+
+let remove_segment t seg =
+  Ra.Sysname.Table.remove t.seg_home seg;
+  Ra.Sysname.Table.remove t.seg_replicas seg
+
+let membership_usable t addr =
+  match t.membership with
+  | Some m -> Membership.Monitor.usable m addr
+  | None -> true
+
+(* Placement of a fresh replicated segment: the primary plus the next
+   [replication - 1] healthy data servers by address, wrapping — a
+   deterministic copyset that spreads load without a placement
+   service. *)
+let replica_targets t ~primary =
+  let others =
+    Array.to_list t.data_nodes
+    |> List.filter_map (fun n ->
+           let id = n.Ra.Node.id in
+           if id = primary then None
+           else if n.Ra.Node.alive && membership_usable t id then Some id
+           else None)
+    |> List.sort Net.Address.compare
+  in
+  let above, below = List.partition (fun a -> a > primary) others in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  primary :: take (t.replication - 1) (above @ below)
 
 let volatile_table t node_id =
   match Hashtbl.find_opt t.volatile node_id with
@@ -54,9 +104,11 @@ let volatile_partition =
   }
 
 let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
-    ?batch_io ?prefetch_window ~compute ~data ~workstations () =
+    ?batch_io ?prefetch_window ?(replication = 1) ~compute ~data ~workstations
+    () =
   if compute < 1 || data < 1 then
     invalid_arg "Cluster.create: need at least one compute and one data server";
+  if replication < 1 then invalid_arg "Cluster.create: replication < 1";
   let ether = Net.Ethernet.create eng ?config:ether_config () in
   let t_ref = ref None in
   let locate seg =
@@ -96,6 +148,7 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
       eng;
       ether;
       params;
+      replication;
       compute_nodes;
       clients;
       data_nodes;
@@ -104,6 +157,7 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
       classes = Hashtbl.create 16;
       class_code = Hashtbl.create 16;
       seg_home = Ra.Sysname.Table.create 64;
+      seg_replicas = Ra.Sysname.Table.create 64;
       obj_home = Ra.Sysname.Table.create 64;
       volatile = Hashtbl.create 16;
       scheduler = `Round_robin;
@@ -113,9 +167,21 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
       next_txn = 1;
       entry_wrapper = (fun _label _ctx body -> body ());
       name_server = None;
+      membership = None;
     }
   in
   t_ref := Some t;
+  (* a segment's current primary forwards committed writes to its
+     backups; everyone else (including the backups) forwards nothing *)
+  Array.iter
+    (fun server ->
+      let self = (Dsm.Dsm_server.node server).Ra.Node.id in
+      Dsm.Dsm_server.set_mirrors server (fun seg ->
+          match Ra.Sysname.Table.find_opt t.seg_replicas seg with
+          | Some (primary :: backups) when Net.Address.equal primary self ->
+              backups
+          | _ -> []))
+    servers;
   (* compute nodes route volatile segments locally and everything
      else through DSM *)
   Array.iteri
@@ -133,7 +199,8 @@ let pick_round_robin t =
     else begin
       let node = t.compute_nodes.(t.rr_compute mod n) in
       t.rr_compute <- t.rr_compute + 1;
-      if node.Ra.Node.alive then node else pick (tries + 1)
+      if node.Ra.Node.alive && membership_usable t node.Ra.Node.id then node
+      else pick (tries + 1)
     end
   in
   pick 0
@@ -142,7 +209,10 @@ let pick_least_loaded t =
   let best =
     Array.fold_left
       (fun acc node ->
-        if not node.Ra.Node.alive then acc
+        if
+          (not node.Ra.Node.alive)
+          || not (membership_usable t node.Ra.Node.id)
+        then acc
         else begin
           let load = Ra.Cpu.load node.Ra.Node.cpu + node.Ra.Node.sched_load in
           match acc with
@@ -167,7 +237,9 @@ let pick_data t =
     else begin
       let node = t.data_nodes.(t.rr_data mod n) in
       t.rr_data <- t.rr_data + 1;
-      if node.Ra.Node.alive then node.Ra.Node.id else pick (tries + 1)
+      if node.Ra.Node.alive && membership_usable t node.Ra.Node.id then
+        node.Ra.Node.id
+      else pick (tries + 1)
     end
   in
   pick 0
@@ -224,16 +296,26 @@ let register_class t (cls : Obj_class.t) =
   match server_at t home with
   | None -> assert false
   | Some server ->
-      let store = Dsm.Dsm_server.store server in
       let node = Dsm.Dsm_server.node server in
       let seg = Ra.Sysname.fresh node.Ra.Node.names in
-      Store.Segment_store.create_segment store seg
-        ~size:(cls.Obj_class.code_pages * Ra.Page.size);
-      for page = 0 to cls.Obj_class.code_pages - 1 do
-        Store.Segment_store.write_page store seg page
-          (code_bytes cls.Obj_class.c_name page)
-      done;
-      add_segment t seg home;
+      (* code segments are materialized on every replica target at
+         load time (configuration-time action, so direct store writes
+         rather than RPCs) *)
+      let targets = replica_targets t ~primary:home in
+      List.iter
+        (fun addr ->
+          match server_at t addr with
+          | None -> assert false
+          | Some server ->
+              let store = Dsm.Dsm_server.store server in
+              Store.Segment_store.create_segment store seg
+                ~size:(cls.Obj_class.code_pages * Ra.Page.size);
+              for page = 0 to cls.Obj_class.code_pages - 1 do
+                Store.Segment_store.write_page store seg page
+                  (code_bytes cls.Obj_class.c_name page)
+              done)
+        targets;
+      set_replicas t seg targets;
       Hashtbl.replace t.class_code cls.Obj_class.c_name seg
 
 let find_class t name = Hashtbl.find_opt t.classes name
@@ -242,3 +324,31 @@ let fresh_txn t node =
   let seq = t.next_txn in
   t.next_txn <- seq + 1;
   (node.Ra.Node.id, seq)
+
+(* Membership is opt-in: without it the cluster behaves exactly as
+   before (no heartbeat traffic, suspicion driven by RaTP timeouts
+   alone), which keeps the calibrated experiments untouched. *)
+let start_membership t ?config () =
+  match t.membership with
+  | Some m -> m
+  | None ->
+      let host = t.compute_nodes.(0) in
+      let m = Membership.Monitor.create ?config host in
+      t.membership <- Some m;
+      List.iter
+        (fun n ->
+          if n.Ra.Node.id <> host.Ra.Node.id then Membership.Monitor.watch m n)
+        (all_nodes t);
+      (* every DSM server and client folds each new view in: Dead
+         peers leave coherence fan-outs and location caches at once *)
+      Membership.Monitor.subscribe m (fun v ->
+          Array.iter (fun s -> Dsm.Dsm_server.apply_view s v) t.servers;
+          Array.iter (fun c -> Dsm.Dsm_client.apply_view c v) t.clients);
+      m
+
+let stop_membership t =
+  match t.membership with
+  | Some m -> Membership.Monitor.stop m
+  | None -> ()
+
+let membership_view t = Option.map Membership.Monitor.view t.membership

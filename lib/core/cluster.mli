@@ -14,6 +14,9 @@ type t = {
   eng : Sim.Engine.t;
   ether : Net.Ethernet.t;
   params : Ra.Params.t;
+  replication : int;
+      (** target copies per segment (1 = the historical single-home
+          configuration; no mirror traffic at all) *)
   compute_nodes : Ra.Node.t array;
   clients : Dsm.Dsm_client.t array;  (** parallel to [compute_nodes] *)
   data_nodes : Ra.Node.t array;
@@ -23,6 +26,9 @@ type t = {
   class_code : (string, Ra.Sysname.t) Hashtbl.t;
       (** instances of a class share one code segment *)
   seg_home : Net.Address.t Ra.Sysname.Table.t;
+  seg_replicas : Net.Address.t list Ra.Sysname.Table.t;
+      (** full replica list per segment, primary first; segments with
+          no entry live only at their [seg_home] *)
   obj_home : Net.Address.t Ra.Sysname.Table.t;
   volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
   mutable scheduler : [ `Round_robin | `Least_loaded ];
@@ -37,6 +43,9 @@ type t = {
     Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
       (** installed by the atomicity layer; default runs the body *)
   mutable name_server : Ra.Sysname.t option;
+  mutable membership : Membership.Monitor.t option;
+      (** set by {!start_membership}; [None] keeps all failure
+          handling purely timeout-driven as before *)
 }
 
 val create :
@@ -46,6 +55,7 @@ val create :
   ?ether_config:Net.Ethernet.config ->
   ?batch_io:bool ->
   ?prefetch_window:int ->
+  ?replication:int ->
   compute:int ->
   data:int ->
   workstations:int ->
@@ -54,7 +64,10 @@ val create :
 (** Build and boot a cluster.  Requires at least one compute and one
     data server.  [batch_io] and [prefetch_window] are forwarded to
     every {!Dsm.Dsm_client.create} (batched segment flush; fault-ahead
-    window, default off). *)
+    window, default off).  [replication] (default 1) is the target
+    number of data servers holding each segment: primaries forward
+    committed writes to the backups, and the replicator re-creates
+    lost copies when membership condemns a server. *)
 
 val pick_compute : t -> Ra.Node.t
 (** Scheduling decision for a new thread, according to
@@ -88,6 +101,35 @@ val locate_segment : t -> Ra.Sysname.t -> Net.Address.t
 (** Raises {!Ra.Partition.No_segment} for unknown segments. *)
 
 val add_segment : t -> Ra.Sysname.t -> Net.Address.t -> unit
+
+val replicas_of : t -> Ra.Sysname.t -> Net.Address.t list
+(** Full replica list of a segment, primary first; [[home]] for
+    unreplicated segments and [[]] for unknown ones. *)
+
+val set_replicas : t -> Ra.Sysname.t -> Net.Address.t list -> unit
+(** Record a segment's replica list; the head becomes the primary
+    that {!locate_segment} resolves to.  Raises [Invalid_argument] on
+    an empty list. *)
+
+val remove_segment : t -> Ra.Sysname.t -> unit
+(** Drop a segment from the placement tables (object deletion). *)
+
+val replica_targets : t -> primary:Net.Address.t -> Net.Address.t list
+(** Placement for a fresh segment: [primary] plus the next
+    [replication - 1] healthy data servers by address, wrapping. *)
+
+val start_membership :
+  t -> ?config:Membership.Monitor.config -> unit -> Membership.Monitor.t
+(** Host a heartbeat monitor on the first compute server, watching
+    every other node, and push each new view into all DSM servers
+    (suspect lifetime) and clients (location-cache eviction).
+    Idempotent.  The caller must {!stop_membership} before the end of
+    the simulation or the periodic processes keep the engine alive
+    forever. *)
+
+val stop_membership : t -> unit
+
+val membership_view : t -> Membership.Monitor.view option
 
 val register_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> unit
 val is_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> bool

@@ -14,6 +14,7 @@ type t = {
   obj_mutex : string -> Sim.Mutex.t;
   per_invocation : (string, Value.t) Hashtbl.t;
   per_thread : (string, Value.t) Hashtbl.t;
+  membership : unit -> Membership.Monitor.view option;
   mutable txn : (int * int) option;
 }
 

@@ -37,6 +37,10 @@ type t = {
       (** scratch living for this invocation only *)
   per_thread : (string, Value.t) Hashtbl.t;
       (** scratch shared by this thread's invocations of this object *)
+  membership : unit -> Membership.Monitor.view option;
+      (** current cluster membership view, if a heartbeat monitor is
+          running ([None] otherwise) — object code can ask who is
+          alive before fanning work out *)
   mutable txn : (int * int) option;
       (** consistency-preserving transaction token, threaded through
           nested and remote invocations by the atomicity layer *)

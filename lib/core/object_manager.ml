@@ -55,22 +55,35 @@ let dsm_rpc node ~dst body =
 (* ------------------------------------------------------------------ *)
 (* Activation *)
 
+let usable_server t addr =
+  match t.cl.Cluster.membership with
+  | Some m -> Membership.Monitor.usable m addr
+  | None -> true
+
 let fetch_descriptor t node obj =
   let ask home =
     match dsm_rpc node ~dst:home (Dsm.Protocol.Get_descriptor obj) with
     | Ok (Dsm.Protocol.Descriptor d) -> d
     | Ok _ | Error Ratp.Endpoint.Timeout -> None
   in
+  (* ask every data server in turn, skipping members the view has
+     condemned (a replicated object's descriptor lives on each of its
+     replicas, so a survivor answers) *)
+  let scan () =
+    Array.fold_left
+      (fun acc dn ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if dn.Ra.Node.alive && usable_server t dn.Ra.Node.id then
+              ask dn.Ra.Node.id
+            else None)
+      None t.cl.Cluster.data_nodes
+  in
   match Ra.Sysname.Table.find_opt t.cl.Cluster.obj_home obj with
-  | Some home -> ask home
-  | None ->
-      (* home unknown: ask every data server in turn *)
-      Array.fold_left
-        (fun acc dn ->
-          match acc with
-          | Some _ -> acc
-          | None -> ask dn.Ra.Node.id)
-        None t.cl.Cluster.data_nodes
+  | Some home when usable_server t home -> (
+      match ask home with Some d -> Some d | None -> scan ())
+  | Some _ | None -> scan ()
 
 let find_entry_seg entries role =
   match
@@ -239,6 +252,7 @@ let rec make_ctx t node (a : activation) ~obj ~thread_id ~origin ~txn =
               m);
       per_invocation = Hashtbl.create 4;
       per_thread = per_thread_table t thread_id obj;
+      membership = (fun () -> Cluster.membership_view t.cl);
       txn;
     }
   in
@@ -301,6 +315,10 @@ let invoke_remote t ~from ~target ~thread_id ~origin ~txn ~obj ~entry arg =
     | exception e -> raise (Ctx.Invoke_error (Printexc.to_string e))
   end
   else begin
+    (* fast failover: a target the membership view already condemned
+       fails immediately instead of burning the RaTP retry ladder *)
+    if not (usable_server t target) then
+      raise (Ctx.Invoke_error "compute server unreachable");
     let body = Invoke { obj; entry; arg; thread_id; origin; txn } in
     let size = 64 + String.length entry + Value.size arg in
     match
@@ -358,17 +376,24 @@ let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
     | None -> raise (No_class class_name)
   in
   let home = match home with Some h -> h | None -> Cluster.pick_data t.cl in
+  let targets = Cluster.replica_targets t.cl ~primary:home in
   let obj = Ra.Sysname.fresh node.Ra.Node.names in
   let data_seg = Ra.Sysname.fresh node.Ra.Node.names in
   let heap_seg = Ra.Sysname.fresh node.Ra.Node.names in
+  (* each segment is created on the primary and every backup; the
+     primary forwards committed writes from then on *)
   let mk seg pages =
-    match
-      dsm_rpc node ~dst:home
-        (Dsm.Protocol.Create_segment { seg; size = pages * Ra.Page.size })
-    with
-    | Ok Dsm.Protocol.Segment_ok -> Cluster.add_segment t.cl seg home
-    | Ok _ | Error Ratp.Endpoint.Timeout ->
-        failwith "create_object: segment creation failed"
+    List.iter
+      (fun dst ->
+        match
+          dsm_rpc node ~dst
+            (Dsm.Protocol.Create_segment { seg; size = pages * Ra.Page.size })
+        with
+        | Ok Dsm.Protocol.Segment_ok -> ()
+        | Ok _ | Error Ratp.Endpoint.Timeout ->
+            failwith "create_object: segment creation failed")
+      targets;
+    Cluster.set_replicas t.cl seg targets
   in
   mk data_seg cls.Obj_class.data_pages;
   mk heap_seg cls.Obj_class.heap_pages;
@@ -396,10 +421,15 @@ let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
         ];
     }
   in
-  (match dsm_rpc node ~dst:home (Dsm.Protocol.Register_object { obj; descriptor }) with
-  | Ok Dsm.Protocol.Registered -> ()
-  | Ok _ | Error Ratp.Endpoint.Timeout ->
-      failwith "create_object: descriptor registration failed");
+  List.iter
+    (fun dst ->
+      match
+        dsm_rpc node ~dst (Dsm.Protocol.Register_object { obj; descriptor })
+      with
+      | Ok Dsm.Protocol.Registered -> ()
+      | Ok _ | Error Ratp.Endpoint.Timeout ->
+          failwith "create_object: descriptor registration failed")
+    targets;
   Ra.Sysname.Table.replace t.cl.Cluster.obj_home obj home;
   (match cls.Obj_class.constructor with
   | None -> ()
@@ -429,18 +459,35 @@ let delete_object t ?on obj =
     | None -> raise (No_object obj)
   in
   let home = desc.Store.Directory.home in
+  (* every replica holds the segments and the descriptor *)
+  let targets =
+    List.sort_uniq Net.Address.compare
+      (home
+      :: List.concat_map
+           (fun e ->
+             if String.equal e.Store.Directory.role "code" then []
+             else Cluster.replicas_of t.cl e.Store.Directory.seg)
+           desc.Store.Directory.entries)
+  in
   List.iter
     (fun e ->
       if not (String.equal e.Store.Directory.role "code") then begin
-        match
-          dsm_rpc node ~dst:home
-            (Dsm.Protocol.Delete_segment e.Store.Directory.seg)
-        with
-        | Ok _ | Error Ratp.Endpoint.Timeout -> ()
+        List.iter
+          (fun dst ->
+            match
+              dsm_rpc node ~dst
+                (Dsm.Protocol.Delete_segment e.Store.Directory.seg)
+            with
+            | Ok _ | Error Ratp.Endpoint.Timeout -> ())
+          (Cluster.replicas_of t.cl e.Store.Directory.seg);
+        Cluster.remove_segment t.cl e.Store.Directory.seg
       end)
     desc.Store.Directory.entries;
-  (match dsm_rpc node ~dst:home (Dsm.Protocol.Unregister_object obj) with
-  | Ok _ | Error Ratp.Endpoint.Timeout -> ());
+  List.iter
+    (fun dst ->
+      match dsm_rpc node ~dst (Dsm.Protocol.Unregister_object obj) with
+      | Ok _ | Error Ratp.Endpoint.Timeout -> ())
+    targets;
   Ra.Sysname.Table.remove t.cl.Cluster.obj_home obj;
   (* drop activations everywhere *)
   Array.iter

@@ -1,0 +1,40 @@
+(** Automatic re-replication of under-replicated segments.
+
+    Subscribes to the membership monitor.  When a view condemns a
+    data server, the replicator immediately repairs the placement
+    tables — every segment whose primary died is repointed at its
+    first surviving backup, and segments with no surviving copy are
+    recorded as lost — then runs a background heal pass that copies
+    each under-replicated segment ([Read_pages] batches applied
+    through the existing [Put_batch] path) onto healthy data servers
+    until the cluster's replication factor is restored, and mirrors
+    the object directory entries alongside.  When a dead server's
+    heartbeats resume (its stable store survived the crash), its lost
+    segments are re-adopted and topped back up.
+
+    Invariant: a write acknowledged to a client before the crash is
+    on every current replica once {!quiesce} returns — the primary
+    applied it and forwarded it to the backups, and heal passes copy
+    whole segments from the surviving primary. *)
+
+type t
+
+val install : Cluster.t -> Membership.Monitor.t -> t
+(** Wire the replicator into a cluster whose monitor is running.
+    Heal passes run on the monitor's host node. *)
+
+val quiesce : t -> unit
+(** Block until no heal pass is in flight. *)
+
+val last_heal : t -> Sim.Time.t option
+(** Completion instant of the most recent heal pass. *)
+
+val pages_copied : t -> int
+(** Pages shipped by heal passes over the replicator's lifetime. *)
+
+val reheals : t -> int
+(** Heal passes that copied at least one segment. *)
+
+val lost_segments : t -> int
+(** Segments that currently have no live replica (their last copy
+    died and has not rejoined). *)

@@ -29,6 +29,7 @@ type t = {
   downs : Sim.Stats.counter;
   loc_hits : Sim.Stats.counter;
   loc_misses : Sim.Stats.counter;
+  loc_evictions : Sim.Stats.counter;
 }
 
 let node t = t.node
@@ -50,6 +51,35 @@ let locate_cached t seg =
 
 let forget_location t seg = Ra.Sysname.Table.remove t.loc_cache seg
 let reset_location_cache t = Ra.Sysname.Table.reset t.loc_cache
+
+(* The stale-location fix: when the membership view condemns a node,
+   drop every cached binding pointing at it immediately, so the next
+   fault re-resolves through the locate path (which the cluster has
+   already repointed at a surviving replica) instead of burning a full
+   RaTP retry ladder against the corpse. *)
+let apply_view t (v : Membership.Monitor.view) =
+  let dead =
+    List.filter_map
+      (fun (m : Membership.Monitor.member) ->
+        match m.status with
+        | Membership.Monitor.Dead -> Some m.addr
+        | Membership.Monitor.Alive | Membership.Monitor.Suspect -> None)
+      v.Membership.Monitor.members
+  in
+  if dead <> [] then begin
+    let doomed =
+      Ra.Sysname.Table.fold
+        (fun seg home acc ->
+          if List.exists (Net.Address.equal home) dead then seg :: acc
+          else acc)
+        t.loc_cache []
+    in
+    List.iter
+      (fun seg ->
+        Sim.Stats.incr t.loc_evictions;
+        Ra.Sysname.Table.remove t.loc_cache seg)
+      doomed
+  end
 
 let stream_for t seg =
   match Ra.Sysname.Table.find_opt t.streams seg with
@@ -181,6 +211,7 @@ let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
       downs = Sim.Stats.counter "dsmc.downs";
       loc_hits = Sim.Stats.counter "dsmc.loc_hits";
       loc_misses = Sim.Stats.counter "dsmc.loc_misses";
+      loc_evictions = Sim.Stats.counter "dsmc.loc_evictions";
     }
   in
   Ra.Mmu.set_resolver node.Ra.Node.mmu (fun _seg -> partition t);
@@ -228,3 +259,4 @@ let invalidations_received t = Sim.Stats.value t.invals
 let downgrades_received t = Sim.Stats.value t.downs
 let location_hits t = Sim.Stats.value t.loc_hits
 let location_misses t = Sim.Stats.value t.loc_misses
+let location_evictions t = Sim.Stats.value t.loc_evictions

@@ -63,6 +63,11 @@ val reset_location_cache : t -> unit
     across restarts).  Individual entries are already dropped
     whenever their home stops answering. *)
 
+val apply_view : t -> Membership.Monitor.view -> unit
+(** Evict cached locations that point at members the view declares
+    [Dead], so the next fault re-resolves against a surviving replica
+    instead of waiting out the RaTP retry ladder. *)
+
 val remote_fetches : t -> int
 (** Fetch RPCs issued (prefetch hits avoid these entirely). *)
 
@@ -76,3 +81,7 @@ val location_hits : t -> int
 (** Faults whose home resolution was served from the location cache. *)
 
 val location_misses : t -> int
+
+val location_evictions : t -> int
+(** Cached bindings dropped because the membership view condemned
+    their home. *)

@@ -26,7 +26,13 @@ type t = {
   page_mutexes : (Ra.Sysname.t * int, Sim.Mutex.t) Hashtbl.t;
   owners : (Ra.Sysname.t * int, owner_state) Hashtbl.t;
   suspects : (Net.Address.t, unit) Hashtbl.t;
-      (* nodes whose recalls timed out; skipped until they speak again *)
+      (* nodes whose recalls timed out, or that the membership view
+         condemned; skipped until they speak again or the view turns
+         them back Alive *)
+  mutable mirrors : Ra.Sysname.t -> Net.Address.t list;
+      (* backup data servers for a segment (replication > 1); the
+         cluster wires this so only a segment's current primary
+         forwards *)
   warmed : unit Ra.Sysname.Table.t;
       (* segments whose backing file has been read at least once; the
          first touch pays a disk read (cold buffer cache) *)
@@ -39,6 +45,7 @@ type t = {
   downs : Sim.Stats.counter;
   commit_count : Sim.Stats.counter;
   abort_count : Sim.Stats.counter;
+  mirrored : Sim.Stats.counter;
 }
 
 let node t = t.node
@@ -66,6 +73,45 @@ let owner_state t key =
 let call_client t ~dst body =
   Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.client_service
     ~size:(P.request_bytes body) body
+
+let call_server t ~dst body =
+  Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.service
+    ~size:(P.request_bytes body) body
+
+(* Forward committed page images to the backups of the segments they
+   touch.  Fire-and-forget durability: a timed-out backup is left for
+   the re-replication pass to repair, and [Mirror_writes] is applied
+   without re-forwarding, so a stale mirrors table cannot loop. *)
+let mirror_writes t writes =
+  let writes =
+    List.filter
+      (fun (seg, _, _) -> Store.Segment_store.exists t.store seg)
+      writes
+  in
+  if writes <> [] then begin
+    let self = t.node.Ra.Node.id in
+    let targets =
+      List.concat_map (fun (seg, _, _) -> t.mirrors seg) writes
+      |> List.sort_uniq Net.Address.compare
+      |> List.filter (fun a ->
+             (not (Net.Address.equal a self)) && not (Hashtbl.mem t.suspects a))
+    in
+    if targets <> [] then begin
+      let send dst =
+        let ws =
+          List.filter
+            (fun (seg, _, _) ->
+              List.exists (Net.Address.equal dst) (t.mirrors seg))
+            writes
+        in
+        Sim.Stats.incr_by t.mirrored (List.length ws);
+        ignore (call_server t ~dst (P.Mirror_writes ws))
+      in
+      if t.parallel_coherence then
+        ignore (Sim.Fanout.map targets ~label:"dsm-mirror" ~f:send)
+      else List.iter send targets
+    end
+  end
 
 (* Read fault: pull the current contents of a page back from its
    owner (dirty write copy) into the store, demoting the owner's
@@ -265,6 +311,7 @@ let handle_commit t txn =
   | Some writes ->
       Store.Wal.append t.wal (Store.Wal.Committed (txn.P.tnode, txn.P.tseq));
       apply_writes t writes;
+      mirror_writes t writes;
       Txn_table.remove t.prepared txn;
       Sim.Stats.incr t.commit_count
   | None -> ());
@@ -290,11 +337,13 @@ let handle t ~src body =
   | P.Put_page { seg; page; data } ->
       if Store.Segment_store.exists t.store seg then begin
         Store.Segment_store.write_page t.store seg page data;
+        mirror_writes t [ (seg, page, data) ];
         P.Batch_ok
       end
       else P.Segment_error
   | P.Put_batch writes ->
       apply_writes t writes;
+      mirror_writes t writes;
       P.Batch_ok
   | P.Overwrite writes ->
       (* replica propagation: force these page images in, dropping
@@ -308,7 +357,42 @@ let handle t ~src body =
                 invalidate_copies t (seg, page) ~except:(-1);
                 Store.Segment_store.write_page t.store seg page data))
         writes;
+      mirror_writes t writes;
       P.Batch_ok
+  | P.Mirror_writes writes ->
+      (* primary → backup propagation; never re-forwarded *)
+      apply_writes t writes;
+      P.Batch_ok
+  | P.Backfill writes ->
+      (* re-replication catch-up: the sender enlisted this store as a
+         mirror before reading these pages, so any page that is no
+         longer zeroed was overwritten by a fresher mirrored write and
+         must be left alone *)
+      List.iter
+        (fun (seg, page, data) ->
+          if Store.Segment_store.exists t.store seg then
+            match Store.Segment_store.read_page t.store seg page with
+            | Ra.Partition.Zeroed ->
+                Store.Segment_store.write_page t.store seg page data
+            | Ra.Partition.Data _ -> ())
+        writes;
+      P.Batch_ok
+  | P.Read_pages { seg; from; count } ->
+      if not (Store.Segment_store.exists t.store seg) then P.Page_error
+      else begin
+        warm_segment t seg;
+        let size = Store.Segment_store.size t.store seg in
+        let pages_in_seg = (size + Ra.Page.size - 1) / Ra.Page.size in
+        let last = min pages_in_seg (from + count) in
+        let rec go p acc =
+          if p >= last then List.rev acc
+          else
+            match Store.Segment_store.read_page t.store seg p with
+            | Ra.Partition.Zeroed -> go (p + 1) acc
+            | Ra.Partition.Data b -> go (p + 1) ((p, b) :: acc)
+        in
+        P.Pages { size; pages = go from [] }
+      end
   | P.Create_segment { seg; size } ->
       if Store.Segment_store.exists t.store seg then P.Segment_error
       else begin
@@ -364,6 +448,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       page_mutexes = Hashtbl.create 64;
       owners = Hashtbl.create 64;
       suspects = Hashtbl.create 8;
+      mirrors = (fun _ -> []);
       warmed = Ra.Sysname.Table.create 64;
       prepared = Txn_table.create 8;
       presume_abort_after;
@@ -374,6 +459,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       downs = Sim.Stats.counter "dsm.downgrades";
       commit_count = Sim.Stats.counter "dsm.commits";
       abort_count = Sim.Stats.counter "dsm.aborts";
+      mirrored = Sim.Stats.counter "dsm.mirrored_writes";
     }
   in
   Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.service
@@ -383,6 +469,27 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
   t
 
 let set_outcome_oracle t oracle = t.oracle <- oracle
+let set_mirrors t f = t.mirrors <- f
+
+(* The sticky-suspect fix: suspicion is owned by the membership view,
+   not by a single RaTP timeout.  A Dead member is skipped in every
+   coherence fan-out; an Alive verdict (heartbeats resumed) clears the
+   suspicion even if the peer never sends this server a request.  A
+   Suspect member is on probation: the local timeout evidence, if any,
+   stands until heartbeats actually recover. *)
+let apply_view t (v : Membership.Monitor.view) =
+  List.iter
+    (fun (m : Membership.Monitor.member) ->
+      if not (Net.Address.equal m.addr t.node.Ra.Node.id) then
+        match m.status with
+        | Membership.Monitor.Dead -> Hashtbl.replace t.suspects m.addr ()
+        | Membership.Monitor.Alive -> Hashtbl.remove t.suspects m.addr
+        | Membership.Monitor.Suspect -> ())
+    v.Membership.Monitor.members
+
+let suspected t =
+  Hashtbl.fold (fun a () acc -> a :: acc) t.suspects []
+  |> List.sort Net.Address.compare
 
 let recover t =
   Hashtbl.reset t.owners;
@@ -465,3 +572,4 @@ let invalidations_sent t = Sim.Stats.value t.invals
 let downgrades_sent t = Sim.Stats.value t.downs
 let commits t = Sim.Stats.value t.commit_count
 let aborts t = Sim.Stats.value t.abort_count
+let mirrored_writes t = Sim.Stats.value t.mirrored

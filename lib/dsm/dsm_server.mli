@@ -52,6 +52,25 @@ val recover : t -> unit
     resolving in-doubt transactions through the outcome oracle
     (presumed abort without one). *)
 
+val apply_view : t -> Membership.Monitor.view -> unit
+(** Fold a membership view into the suspect table: [Dead] members are
+    skipped by coherence fan-outs, an [Alive] verdict clears the
+    suspicion — even if the peer never sends this server a request —
+    and [Suspect] leaves any local timeout evidence standing
+    (probation).  This replaces the old behaviour where one RaTP
+    timeout marked a peer suspect forever. *)
+
+val suspected : t -> Net.Address.t list
+(** Peers currently skipped by coherence fan-outs; sorted (tests). *)
+
+val set_mirrors : t -> (Ra.Sysname.t -> Net.Address.t list) -> unit
+(** Wire the backup map for replicated segments: committed writes
+    ([Put_page]/[Put_batch]/[Overwrite]/2PC commit application) are
+    forwarded as [Mirror_writes] to each listed backup.  The cluster
+    arranges that only a segment's current primary has backups listed,
+    and backups apply without re-forwarding, so forwarding cannot
+    loop. *)
+
 val owner_of : t -> Ra.Sysname.t -> int -> Net.Address.t option
 (** Current write owner of a page (tests). *)
 
@@ -69,3 +88,6 @@ val invalidations_sent : t -> int
 val downgrades_sent : t -> int
 val commits : t -> int
 val aborts : t -> int
+
+val mirrored_writes : t -> int
+(** Page images forwarded to backups over this server's lifetime. *)

@@ -47,6 +47,21 @@ type Ratp.Packet.body +=
   | Txn_done
   | List_objects
   | Objects of Ra.Sysname.t list
+  | Read_pages of { seg : Ra.Sysname.t; from : int; count : int }
+      (** Bulk replica read for re-replication: returns up to [count]
+          non-zero pages starting at [from], with no effect on the
+          owner or copyset tables. *)
+  | Pages of { size : int; pages : (int * bytes) list }
+  | Mirror_writes of write_set
+      (** Committed writes forwarded by a segment's primary to its
+          backups; applied to the store without further forwarding. *)
+  | Backfill of write_set
+      (** Re-replication catch-up copy: each page is applied only if
+          the receiving store still holds it zeroed.  The healing
+          target is enlisted as a mirror before the backfill starts,
+          so a page the backfill finds non-zero was written by a
+          fresher mirrored write — overwriting it would lose a
+          committed update. *)
 
 let service = 10
 let client_service = 11
@@ -93,6 +108,10 @@ let request_bytes = function
   | Txn_done -> 32
   | List_objects -> 32
   | Objects names -> 32 + (24 * List.length names)
+  | Read_pages _ -> 48
+  | Pages { pages; _ } -> 48 + extras_bytes pages
+  | Mirror_writes ws -> 48 + write_set_bytes ws
+  | Backfill ws -> 48 + write_set_bytes ws
   | _ -> 64
 
 let txn_compare a b =

@@ -64,6 +64,17 @@ type Ratp.Packet.body +=
   | Txn_done
   | List_objects
   | Objects of Ra.Sysname.t list
+  | Read_pages of { seg : Ra.Sysname.t; from : int; count : int }
+      (** bulk replica read for re-replication: up to [count] non-zero
+          pages starting at [from]; no owner/copyset side effects *)
+  | Pages of { size : int; pages : (int * bytes) list }
+  | Mirror_writes of write_set
+      (** committed writes forwarded by a segment's primary to its
+          backups; applied to the store, never re-forwarded *)
+  | Backfill of write_set
+      (** re-replication catch-up copy: a page is applied only if the
+          receiving store still holds it zeroed, so it can never
+          clobber a fresher mirrored write *)
 
 val service : int
 (** RaTP service id of DSM servers. *)

@@ -14,6 +14,11 @@ module F1_sort = F1_sort
 module F2_consistency = F2_consistency
 module F3_pet = F3_pet
 module Faults = Faults
+
+module Membership = Membership_exp
+(** [Membership_exp] rather than [Membership] on disk so the module
+    does not shadow the membership library it drives. *)
+
 module Ablations = Ablations
 module Write_fault_fanout = Write_fault_fanout
 module Page_batching = Page_batching

@@ -1,0 +1,4 @@
+(** Cluster membership: heartbeat failure detection and epoch-numbered
+    views (ROADMAP item 2; DESIGN.md §13). *)
+
+module Monitor = Monitor

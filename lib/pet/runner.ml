@@ -23,9 +23,17 @@ type pet = {
 (* Choose a live compute server for PET [i], spreading threads over
    distinct machines so one crash takes out at most one PET. *)
 let compute_for cl i =
-  let nodes =
-    Array.to_list cl.Cl.compute_nodes |> List.filter (fun n -> n.Ra.Node.alive)
+  (* a membership view, when one is running, vetoes nodes already
+     condemned — no pet is scheduled onto a corpse that merely has
+     not been garbage-collected from [alive] yet *)
+  let usable n =
+    n.Ra.Node.alive
+    &&
+    match cl.Cl.membership with
+    | Some m -> Membership.Monitor.usable m n.Ra.Node.id
+    | None -> true
   in
+  let nodes = Array.to_list cl.Cl.compute_nodes |> List.filter usable in
   match nodes with
   | [] -> None
   | _ :: _ -> Some (List.nth nodes (i mod List.length nodes)).Ra.Node.id
