@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments bench-json bench-diff bench-baseline clean
+.PHONY: all build test check faults experiments load-smoke bench-json bench-diff bench-baseline clean
 
 all: build
 
@@ -18,6 +18,11 @@ faults:
 
 experiments:
 	dune exec bin/experiments_main.exe
+
+# CI-sized open-loop load grid (both A/B arms of the sharded name
+# service); the full grid is `experiments_main -- load`.
+load-smoke:
+	dune exec bin/experiments_main.exe -- --quick load
 
 # Machine-readable benchmark baseline (wall-clock + simulated
 # metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.

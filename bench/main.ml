@@ -147,6 +147,13 @@ let simulated_metrics ~quick =
       ~ops:(if quick then 32 else 48)
       ()
   in
+  let load =
+    Experiments.Load.run
+      ~cells:
+        (if quick then Experiments.Load.smoke_cells
+         else Experiments.Load.smoke_cells @ Experiments.Load.ab_cells)
+      ()
+  in
   let fanout_points ps =
     j_arr
       (List.map
@@ -350,6 +357,36 @@ let simulated_metrics ~quick =
                     j_field "remote_ms" (j_num b.remote_ms);
                     j_field "local_invokes" (j_int b.local_invokes);
                   ]);
+           ]);
+      j_field "load"
+        (j_obj
+           [
+             j_field "cells"
+               (j_arr
+                  (List.map
+                     (fun p ->
+                       let open Experiments.Load in
+                       j_obj
+                         [
+                           j_field "label" (j_str p.cell.label);
+                           j_field "sharded" (string_of_bool p.cell.sharded);
+                           j_field "data" (j_int p.cell.data);
+                           j_field "compute" (j_int p.cell.compute);
+                           j_field "clients" (j_int p.cell.clients);
+                           j_field "rate" (j_num p.cell.rate);
+                           j_field "invocations" (j_int p.cell.invocations);
+                           j_field "write_pct" (j_int p.cell.write_pct);
+                           j_field "completed" (j_int p.completed);
+                           j_field "misses" (j_int p.misses);
+                           j_field "retries" (j_int p.retries);
+                           j_field "p50_ms" (j_num p.p50_ms);
+                           j_field "p95_ms" (j_num p.p95_ms);
+                           j_field "p99_ms" (j_num p.p99_ms);
+                           j_field "mean_ms" (j_num p.mean_ms);
+                           j_field "throughput" (j_num p.throughput);
+                           j_field "sim_ms" (j_num p.sim_ms);
+                         ])
+                     load));
            ]);
     ]
 

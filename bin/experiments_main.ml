@@ -20,6 +20,7 @@ let all_ids =
     "transport";
     "faults";
     "membership";
+    "load";
     "ablations";
   ]
 
@@ -84,6 +85,16 @@ let run_one ~quick id =
       List.iter
         (fun o -> Printf.printf "  %s\n" (Experiments.Membership.summary o))
         outcomes
+  | "load" ->
+      let cells =
+        if quick then Experiments.Load.smoke_cells
+        else Experiments.Load.full_cells
+      in
+      let points = Experiments.Load.run ~cells () in
+      print_string (Experiments.Load.report points);
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Experiments.Load.summary p))
+        points
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
   | other -> Printf.eprintf "unknown experiment %S (know: %s)\n" other (String.concat " " all_ids)
 

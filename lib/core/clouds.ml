@@ -16,6 +16,7 @@ module Ctx = Ctx
 module Obj_class = Obj_class
 module Terminal = Terminal
 module User_io = User_io
+module Ring = Ring
 module Cluster = Cluster
 module Object_manager = Object_manager
 module Thread = Thread

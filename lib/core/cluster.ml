@@ -21,9 +21,21 @@ type t = {
   mutable next_txn : int;
   mutable entry_wrapper :
     Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
-  mutable name_server : Ra.Sysname.t option;
+  mutable ring : Ring.t;
+  mutable prev_ring : Ring.t option;
+  mutable name_sharding : bool;
+  name_shards : (Net.Address.t, Ra.Sysname.t) Hashtbl.t;
+  ns_locks : (Net.Address.t, Sim.Rwlock.t) Hashtbl.t;
   mutable membership : Membership.Monitor.t option;
 }
+
+let ns_lock t shard =
+  match Hashtbl.find_opt t.ns_locks shard with
+  | Some m -> m
+  | None ->
+      let m = Sim.Rwlock.create ~label:"ns-shard" () in
+      Hashtbl.replace t.ns_locks shard m;
+      m
 
 let locate_segment t seg =
   match Ra.Sysname.Table.find_opt t.seg_home seg with
@@ -166,7 +178,13 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
       next_thread = 1;
       next_txn = 1;
       entry_wrapper = (fun _label _ctx body -> body ());
-      name_server = None;
+      ring =
+        Ring.make
+          (Array.to_list (Array.map (fun n -> n.Ra.Node.id) data_nodes));
+      prev_ring = None;
+      name_sharding = true;
+      name_shards = Hashtbl.create 8;
+      ns_locks = Hashtbl.create 8;
       membership = None;
     }
   in
@@ -244,6 +262,55 @@ let pick_data t =
   in
   pick 0
 
+(* Ring placement: the owner of the key's arc, skipping to the next
+   distinct member along the ring while the candidate is down.  Falls
+   back to round robin only if every ring member is unusable (the
+   cluster is effectively dead anyway). *)
+let place_data t key =
+  let rec first = function
+    | [] -> pick_data t
+    | addr :: rest ->
+        let node =
+          Array.to_list t.data_nodes
+          |> List.find_opt (fun n -> n.Ra.Node.id = addr)
+        in
+        let ok =
+          match node with
+          | Some n -> n.Ra.Node.alive && membership_usable t addr
+          | None -> false
+        in
+        if ok then addr else first rest
+  in
+  first (Ring.successors t.ring key)
+
+let place_object t obj = place_data t (Ring.key_of_sysname obj)
+
+let set_name_sharding t flag = t.name_sharding <- flag
+
+(* The shard that owns a name binding.  With sharding off, everything
+   funnels through the lowest-addressed data server — the historical
+   centralized name server, kept as the A/B baseline. *)
+let name_shard t name =
+  if t.name_sharding then place_data t (Ring.key_of_string name)
+  else t.data_nodes.(0).Ra.Node.id
+
+(* Writes to a shard are serialized through one deterministic compute
+   node (the shard's bind leader): concurrent binds from many clients
+   land on the same CPU and interleave under its object mutex instead
+   of racing DSM writes to the shard's persistent heap from two nodes
+   at once. *)
+let bind_leader t shard =
+  let n = Array.length t.compute_nodes in
+  let rec pick i tries =
+    if tries >= n then pick_compute t
+    else begin
+      let node = t.compute_nodes.(i mod n) in
+      if node.Ra.Node.alive && membership_usable t node.Ra.Node.id then node
+      else pick (i + 1) (tries + 1)
+    end
+  in
+  pick (shard mod n) 0
+
 let all_nodes t =
   Array.to_list t.data_nodes
   @ Array.to_list t.compute_nodes
@@ -292,7 +359,7 @@ let register_class t (cls : Obj_class.t) =
   if Hashtbl.mem t.classes cls.Obj_class.c_name then
     invalid_arg "Cluster.register_class: already loaded";
   Hashtbl.replace t.classes cls.Obj_class.c_name cls;
-  let home = pick_data t in
+  let home = place_data t (Ring.key_of_string cls.Obj_class.c_name) in
   match server_at t home with
   | None -> assert false
   | Some server ->
@@ -328,6 +395,39 @@ let fresh_txn t node =
 (* Membership is opt-in: without it the cluster behaves exactly as
    before (no heartbeat traffic, suspicion driven by RaTP timeouts
    alone), which keeps the calibrated experiments untouched. *)
+(* Rebuild the placement ring over the data servers the view still
+   admits.  When the member set actually changed, evict exactly the
+   cached locations whose owner moved between the two rings — the
+   affected arc — and keep every other binding warm. *)
+let remap_ring t (v : Membership.Monitor.view) =
+  let usable_data =
+    Array.to_list t.data_nodes
+    |> List.filter_map (fun n ->
+           let id = n.Ra.Node.id in
+           let condemned =
+             List.exists
+               (fun (m : Membership.Monitor.member) ->
+                 Net.Address.equal m.addr id
+                 && m.status = Membership.Monitor.Dead)
+               v.Membership.Monitor.members
+           in
+           if condemned then None else Some id)
+  in
+  match usable_data with
+  | [] -> () (* no usable data server: keep the old ring *)
+  | members when members <> Ring.members t.ring ->
+      let before = t.ring in
+      let after = Ring.make ~vnodes:(Ring.vnodes before) members in
+      t.ring <- after;
+      t.prev_ring <- Some before;
+      Array.iter
+        (fun c ->
+          ignore
+            (Dsm.Dsm_client.evict_where c (fun seg _home ->
+                 Ring.moved ~before ~after (Ring.key_of_sysname seg))))
+        t.clients
+  | _ -> ()
+
 let start_membership t ?config () =
   match t.membership with
   | Some m -> m
@@ -343,7 +443,8 @@ let start_membership t ?config () =
          peers leave coherence fan-outs and location caches at once *)
       Membership.Monitor.subscribe m (fun v ->
           Array.iter (fun s -> Dsm.Dsm_server.apply_view s v) t.servers;
-          Array.iter (fun c -> Dsm.Dsm_client.apply_view c v) t.clients);
+          Array.iter (fun c -> Dsm.Dsm_client.apply_view c v) t.clients;
+          remap_ring t v);
       m
 
 let stop_membership t =

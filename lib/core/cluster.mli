@@ -42,7 +42,23 @@ type t = {
   mutable entry_wrapper :
     Obj_class.consistency -> Ctx.t -> (unit -> Value.t) -> Value.t;
       (** installed by the atomicity layer; default runs the body *)
-  mutable name_server : Ra.Sysname.t option;
+  mutable ring : Ring.t;
+      (** consistent-hash placement ring over the usable data servers;
+          rebuilt (and the moved arc evicted from location caches) on
+          every membership view change *)
+  mutable prev_ring : Ring.t option;
+      (** the ring one view-change ago — the fallback generation a
+          lookup consults for bindings made before a remap *)
+  mutable name_sharding : bool;
+      (** route name bindings to the ring owner of the name (default);
+          [false] funnels everything through one shard — the
+          historical centralized server kept as the A/B baseline *)
+  name_shards : (Net.Address.t, Ra.Sysname.t) Hashtbl.t;
+      (** lazily created name-server object per data-server shard *)
+  ns_locks : (Net.Address.t, Sim.Rwlock.t) Hashtbl.t;
+      (** per-shard reader–writer lock: lookups share it, binds hold
+          it exclusively, so readers never observe a half-rebound
+          name *)
   mutable membership : Membership.Monitor.t option;
       (** set by {!start_membership}; [None] keeps all failure
           handling purely timeout-driven as before *)
@@ -76,8 +92,32 @@ val pick_compute : t -> Ra.Node.t
     lowest address). *)
 
 val pick_data : t -> Net.Address.t
-(** Placement decision for a new object: round robin over data
-    servers. *)
+(** Round robin over live data servers (legacy placement; ring
+    placement below is what object creation uses). *)
+
+val place_data : t -> int -> Net.Address.t
+(** Ring placement for a hashed key: the owner of the key's arc, or
+    the next usable member along the ring when the owner is down. *)
+
+val place_object : t -> Ra.Sysname.t -> Net.Address.t
+(** [place_data] on the object's sysname hash. *)
+
+val name_shard : t -> string -> Net.Address.t
+(** The data-server shard owning a name binding: the ring owner of
+    the name's hash, or the lowest-addressed data server when
+    sharding is off. *)
+
+val set_name_sharding : t -> bool -> unit
+(** Toggle name sharding (default on).  Flip only before the first
+    binding: existing bindings stay in the shard they were routed
+    to. *)
+
+val bind_leader : t -> Net.Address.t -> Ra.Node.t
+(** The deterministic compute node that serializes writes to the
+    given shard. *)
+
+val ns_lock : t -> Net.Address.t -> Sim.Rwlock.t
+(** The shard's reader–writer lock (created on first use). *)
 
 val node_by_id : t -> int -> Ra.Node.t option
 (** Any node (data, compute or workstation) by address. *)
@@ -130,6 +170,13 @@ val start_membership :
 val stop_membership : t -> unit
 
 val membership_view : t -> Membership.Monitor.view option
+
+val remap_ring : t -> Membership.Monitor.view -> unit
+(** Fold a membership view into the placement ring: rebuild it over
+    the data servers the view does not condemn and, if the member set
+    changed, evict exactly the moved arc from every client's location
+    cache.  Called automatically by the {!start_membership}
+    subscriber; exposed for tests and for externally-fed views. *)
 
 val register_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> unit
 val is_volatile : t -> Ra.Node.t -> Ra.Sysname.t -> bool

@@ -1,6 +1,20 @@
 (* Bindings are a singly linked list in the object's persistent heap;
    the head offset lives at byte 0 of the persistent data segment.
-   Node layout: [next:8][name:4+n][sysname:4+m]. *)
+   Node layout: [next:8][name:4+n][sysname:4+m].
+
+   The list is the durable form.  Lookups go through a volatile
+   hash-indexed directory (name -> heap offset) kept per shard object:
+   a hit reads one node instead of walking the list, a miss falls back
+   to the walk (which refills the index as it goes).  Index entries
+   are verified against the heap before being trusted, so a stale
+   entry can only cost a walk, never a wrong answer.
+
+   The service is sharded: each data server owns one name-server
+   object holding the arc of the name space the cluster's placement
+   ring assigns it.  Reads run on the caller's compute node; writes
+   are routed to the shard's bind leader under the shard write lock,
+   so the persistent list is only ever mutated from one node at a
+   time. *)
 
 let head_off = 0
 
@@ -17,29 +31,76 @@ let get_sys ctx node =
 let charge ctx =
   ctx.Ctx.compute ctx.Ctx.node.Ra.Node.params.Ra.Params.name_lookup
 
+(* volatile directory, one per shard object.  It models the shard's
+   in-core hash table: shared by every compute node because DSM keeps
+   the underlying heap coherent and writes are serialized by the bind
+   leader.  Dropped (fresh table) whenever the shard object is
+   created, so no state leaks between simulation runs that mint the
+   same sysnames. *)
+let indexes : (string, int) Hashtbl.t Ra.Sysname.Table.t =
+  Ra.Sysname.Table.create 8
+
+let index_of obj =
+  match Ra.Sysname.Table.find_opt indexes obj with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 64 in
+      Ra.Sysname.Table.replace indexes obj h;
+      h
+
 let fold ctx f init =
   let rec walk acc node =
     if node = 0 then acc else walk (f acc node) (get_next ctx node)
   in
   walk init (Memory.get_int ctx.Ctx.mem head_off)
 
+(* O(1) find via the directory; the durable list is the fallback and
+   the authority.  A directory hit is verified by reading the node's
+   name from the heap — [Memory] accessors are bounds-checked, so a
+   dangling offset raises and we just take the walk. *)
 let find ctx name =
-  fold ctx
-    (fun acc node ->
-      match acc with
-      | Some _ -> acc
-      | None -> if String.equal (get_name ctx node) name then Some node else None)
-    None
+  let idx = index_of ctx.Ctx.self in
+  let verified =
+    match Hashtbl.find_opt idx name with
+    | None -> None
+    | Some node -> (
+        match get_name ctx node with
+        | n when String.equal n name -> Some node
+        | _ | (exception _) ->
+            Hashtbl.remove idx name;
+            None)
+  in
+  match verified with
+  | Some _ as hit -> hit
+  | None ->
+      let rec walk node =
+        if node = 0 then None
+        else begin
+          let n = get_name ctx node in
+          if not (Hashtbl.mem idx n) then Hashtbl.replace idx n node;
+          if String.equal n name then Some node else walk (get_next ctx node)
+        end
+      in
+      walk (Memory.get_int ctx.Ctx.mem head_off)
 
-let remove ctx name =
+(* Unlink the first node bearing [name], skipping [keep].  The node
+   is unlinked but NOT freed: a concurrent reader walking the list may
+   still be standing on it, and an unlinked-but-intact node lets that
+   walk finish with the old (recent, well-formed) answer instead of
+   reading recycled heap bytes.  The leaked cell is the price of
+   lock-free readers; a real system reclaims it with the recoverable
+   heap's commit machinery. *)
+let unlink ctx ?(keep = -1) name =
   let rec walk prev node =
     if node = 0 then false
     else begin
       let next = get_next ctx node in
-      if String.equal (get_name ctx node) name then begin
+      if node <> keep && String.equal (get_name ctx node) name then begin
         (if prev = 0 then Memory.set_int ctx.Ctx.mem head_off next
          else Memory.set_int ctx.Ctx.mem ~region:Memory.Heap prev next);
-        Pheap.free (ctx.Ctx.pheap ()) node;
+        (match Hashtbl.find_opt (index_of ctx.Ctx.self) name with
+        | Some n when n = node -> Hashtbl.remove (index_of ctx.Ctx.self) name
+        | _ -> ());
         true
       end
       else walk node next
@@ -56,10 +117,12 @@ let insert ctx name sys =
   Memory.set_string ctx.Ctx.mem ~region:Memory.Heap
     (node + 8 + Memory.string_footprint name)
     sys;
-  Memory.set_int ctx.Ctx.mem head_off node
+  Memory.set_int ctx.Ctx.mem head_off node;
+  Hashtbl.replace (index_of ctx.Ctx.self) name node;
+  node
 
 let cls =
-  Obj_class.define ~name:"nameserver" ~heap_pages:4
+  Obj_class.define ~name:"nameserver" ~heap_pages:64
     [
       (* binds are local consistency preserving: with the atomicity
          manager installed they commit to the data server, so names
@@ -70,8 +133,11 @@ let cls =
           let name_v, sys_v = Value.to_pair arg in
           let name = Value.to_string name_v in
           let sys = Value.to_string sys_v in
-          ignore (remove ctx name);
-          insert ctx name sys;
+          (* insert first, then unlink any older binding: a reader
+             racing the rebind sees the old node or the new one, never
+             a window where the name is absent *)
+          let fresh = insert ctx name sys in
+          ignore (unlink ctx ~keep:fresh name);
           Value.Unit);
       Obj_class.entry "lookup" (fun ctx arg ->
           charge ctx;
@@ -81,7 +147,7 @@ let cls =
           | None -> Value.Unit);
       Obj_class.entry ~label:Obj_class.Lcp "unbind" (fun ctx arg ->
           charge ctx;
-          Value.Bool (remove ctx (Value.to_string arg)));
+          Value.Bool (unlink ctx (Value.to_string arg)));
       Obj_class.entry "list" (fun ctx _arg ->
           charge ctx;
           Value.List
@@ -93,50 +159,132 @@ let cls =
                []));
     ]
 
-let boot om =
+let ensure_class cl =
+  if Cluster.find_class cl "nameserver" = None then Cluster.register_class cl cls
+
+(* One name-server object per shard, created lazily with its segments
+   homed on the owning data server. *)
+let shard_object om shard =
   let cl = Object_manager.cluster om in
-  match cl.Cluster.name_server with
+  match Hashtbl.find_opt cl.Cluster.name_shards shard with
   | Some s -> s
   | None ->
-      if Cluster.find_class cl "nameserver" = None then
-        Cluster.register_class cl cls;
-      let obj = Object_manager.create_object om ~class_name:"nameserver" Value.Unit in
-      cl.Cluster.name_server <- Some obj;
+      ensure_class cl;
+      let obj =
+        Object_manager.create_object om ~home:shard ~class_name:"nameserver"
+          Value.Unit
+      in
+      Hashtbl.replace cl.Cluster.name_shards shard obj;
+      (* fresh object: no bindings, so no directory either *)
+      Ra.Sysname.Table.remove indexes obj;
       obj
 
-let ns_invoke om entry arg =
+let boot om =
   let cl = Object_manager.cluster om in
-  let ns = boot om in
-  let node = Cluster.pick_compute cl in
-  Object_manager.invoke om ~node ~thread_id:0 ~origin:None ~txn:None ~obj:ns
-    ~entry arg
+  shard_object om cl.Cluster.data_nodes.(0).Ra.Node.id
+
+let shard_of om name = Cluster.name_shard (Object_manager.cluster om) name
+
+let invoke_shard om ~node ~shard entry arg =
+  Object_manager.invoke om ~node ~thread_id:0 ~origin:None ~txn:None
+    ~obj:(shard_object om shard) ~entry arg
+
+(* Lookups are lock-free: the bind path's insert-then-unlink ordering
+   guarantees a racing reader sees either the old binding or the new
+   one, never a gap, so readers pay no synchronization at all.  Only
+   mutations serialize, exclusively per shard, so two clients can
+   never interleave list surgery on the same persistent heap. *)
+let with_write cl shard f =
+  let l = Cluster.ns_lock cl shard in
+  Sim.Rwlock.lock_write l;
+  Fun.protect ~finally:(fun () -> Sim.Rwlock.unlock_write l) f
+
+(* reads run wherever the caller sits (or a scheduled compute node) *)
+let read_invoke ?on om ~name entry arg =
+  let cl = Object_manager.cluster om in
+  let node = match on with Some n -> n | None -> Cluster.pick_compute cl in
+  invoke_shard om ~node ~shard:(shard_of om name) entry arg
+
+(* writes are serialized per shard: routed to the shard's bind leader
+   and run under the exclusive side of the shard lock *)
+let write_invoke om ~name entry arg =
+  let cl = Object_manager.cluster om in
+  let shard = shard_of om name in
+  let node = Cluster.bind_leader cl shard in
+  with_write cl shard (fun () -> invoke_shard om ~node ~shard entry arg)
 
 let bind om ~name sys =
   match
-    ns_invoke om "bind"
+    write_invoke om ~name "bind"
       (Value.Pair (Value.Str name, Value.Str (Ra.Sysname.to_string sys)))
   with
   | Value.Unit -> ()
   | _ -> failwith "name server: bad bind reply"
 
-let lookup om name =
-  match ns_invoke om "lookup" (Value.Str name) with
+let lookup_at ?on om ~name = read_invoke ?on om ~name "lookup" (Value.Str name)
+
+let lookup ?on om name =
+  match lookup_at ?on om ~name with
   | Value.Str s -> Ra.Sysname.of_string s
-  | Value.Unit -> None
+  | Value.Unit -> (
+      (* remap fallback: a binding made before the last ring change
+         may still live in the shard the previous ring assigned it *)
+      let cl = Object_manager.cluster om in
+      match cl.Cluster.prev_ring with
+      | Some prev when cl.Cluster.name_sharding ->
+          let old_shard = Ring.owner_of_string prev name in
+          if
+            old_shard <> shard_of om name
+            && Hashtbl.mem cl.Cluster.name_shards old_shard
+          then begin
+            let node = Cluster.pick_compute cl in
+            match
+              invoke_shard om ~node ~shard:old_shard "lookup" (Value.Str name)
+            with
+            | Value.Str s -> Ra.Sysname.of_string s
+            | _ -> None
+          end
+          else None
+      | _ -> None)
   | _ -> failwith "name server: bad lookup reply"
 
-let unbind om name = ignore (ns_invoke om "unbind" (Value.Str name))
+let unbind om name =
+  ignore (write_invoke om ~name "unbind" (Value.Str name));
+  (* after a remap the binding may (also) live in the previous owner *)
+  let cl = Object_manager.cluster om in
+  match cl.Cluster.prev_ring with
+  | Some prev when cl.Cluster.name_sharding ->
+      let old_shard = Ring.owner_of_string prev name in
+      if
+        old_shard <> shard_of om name
+        && Hashtbl.mem cl.Cluster.name_shards old_shard
+      then begin
+        let node = Cluster.bind_leader cl old_shard in
+        ignore
+          (with_write cl old_shard (fun () ->
+               invoke_shard om ~node ~shard:old_shard "unbind" (Value.Str name)))
+      end
+  | _ -> ()
 
 let bindings om =
-  match ns_invoke om "list" Value.Unit with
-  | Value.List l ->
-      List.filter_map
-        (fun v ->
-          match v with
-          | Value.Pair (Value.Str n, Value.Str s) -> (
-              match Ra.Sysname.of_string s with
-              | Some sys -> Some (n, sys)
-              | None -> None)
-          | _ -> None)
-        l
-  | _ -> []
+  let cl = Object_manager.cluster om in
+  let shards =
+    Hashtbl.fold (fun shard _ acc -> shard :: acc) cl.Cluster.name_shards []
+    |> List.sort Net.Address.compare
+  in
+  List.concat_map
+    (fun shard ->
+      let node = Cluster.pick_compute cl in
+      match invoke_shard om ~node ~shard "list" Value.Unit with
+      | Value.List l ->
+          List.filter_map
+            (fun v ->
+              match v with
+              | Value.Pair (Value.Str n, Value.Str s) -> (
+                  match Ra.Sysname.of_string s with
+                  | Some sys -> Some (n, sys)
+                  | None -> None)
+              | _ -> None)
+            l
+      | _ -> [])
+    shards

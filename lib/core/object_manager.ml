@@ -375,9 +375,14 @@ let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
     | Some s -> s
     | None -> raise (No_class class_name)
   in
-  let home = match home with Some h -> h | None -> Cluster.pick_data t.cl in
-  let targets = Cluster.replica_targets t.cl ~primary:home in
   let obj = Ra.Sysname.fresh node.Ra.Node.names in
+  (* placement is a pure function of the object's sysname (the ring),
+     so any node can later re-derive the home without a directory
+     round trip; an explicit [home] (e.g. a name-server shard) wins *)
+  let home =
+    match home with Some h -> h | None -> Cluster.place_object t.cl obj
+  in
+  let targets = Cluster.replica_targets t.cl ~primary:home in
   let data_seg = Ra.Sysname.fresh node.Ra.Node.names in
   let heap_seg = Ra.Sysname.fresh node.Ra.Node.names in
   (* each segment is created on the primary and every backup; the

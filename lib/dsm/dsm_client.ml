@@ -52,6 +52,22 @@ let locate_cached t seg =
 let forget_location t seg = Ra.Sysname.Table.remove t.loc_cache seg
 let reset_location_cache t = Ra.Sysname.Table.reset t.loc_cache
 
+(* Selective eviction for placement-ring remaps: only the bindings the
+   predicate condemns (the moved arc) are dropped; everything else
+   keeps its warm location. *)
+let evict_where t pred =
+  let doomed =
+    Ra.Sysname.Table.fold
+      (fun seg home acc -> if pred seg home then seg :: acc else acc)
+      t.loc_cache []
+  in
+  List.iter
+    (fun seg ->
+      Sim.Stats.incr t.loc_evictions;
+      Ra.Sysname.Table.remove t.loc_cache seg)
+    doomed;
+  List.length doomed
+
 (* The stale-location fix: when the membership view condemns a node,
    drop every cached binding pointing at it immediately, so the next
    fault re-resolves through the locate path (which the cluster has

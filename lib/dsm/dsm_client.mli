@@ -63,6 +63,12 @@ val reset_location_cache : t -> unit
     across restarts).  Individual entries are already dropped
     whenever their home stops answering. *)
 
+val evict_where : t -> (Ra.Sysname.t -> Net.Address.t -> bool) -> int
+(** Drop exactly the cached locations the predicate condemns (segment,
+    cached home) and return how many were evicted — used on a
+    placement-ring remap to invalidate the moved arc and nothing
+    else. *)
+
 val apply_view : t -> Membership.Monitor.view -> unit
 (** Evict cached locations that point at members the view declares
     [Dead], so the next fault re-resolves against a surviving replica

@@ -23,3 +23,4 @@ module Ablations = Ablations
 module Write_fault_fanout = Write_fault_fanout
 module Page_batching = Page_batching
 module Transport = Transport
+module Load = Load

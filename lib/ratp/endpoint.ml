@@ -192,7 +192,10 @@ let send_frag_list t ~dst ~service ~tid ~kind ~total_size body frags =
       (Packet.Ratp pkt)
   in
   ignore
-    (Sim.spawn ?group:t.group "ratp-tx" (fun () ->
+    (Sim.Engine.spawn
+       (Net.Ethernet.engine t.ether)
+       ?group:t.group "ratp-tx"
+       (fun () ->
          let cfg = Net.Ethernet.config t.ether in
          let t0 = Sim.now () in
          List.iter
@@ -260,7 +263,10 @@ let rec schedule_accumulation_expiry t tid =
 
 let run_handler t ~(src : Net.Address.t) ~tid ~service body =
   ignore
-    (Sim.spawn ?group:t.group "ratp-handler" (fun () ->
+    (Sim.Engine.spawn
+       (Net.Ethernet.engine t.ether)
+       ?group:t.group "ratp-handler"
+       (fun () ->
          match Hashtbl.find_opt t.services service with
          | None ->
              (* unknown service: drop; the client will time out *)
