@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments load-smoke bench-json bench-diff bench-baseline clean
+.PHONY: all build test check faults experiments load-smoke obs-smoke bench-json bench-diff bench-baseline clean
 
 all: build
 
@@ -24,6 +24,13 @@ experiments:
 load-smoke:
 	dune exec bin/experiments_main.exe -- --quick load
 
+# Traced mid-size load cell: exports obs_trace.json (Chrome
+# trace-event JSON, validated by the binary itself before it exits
+# zero) and obs_metrics.json (per-node metrics registries), and
+# prints the critical-path stage breakdown.
+obs-smoke:
+	dune exec bin/experiments_main.exe -- trace
+
 # Machine-readable benchmark baseline (wall-clock + simulated
 # metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.
 bench-json:
@@ -46,12 +53,21 @@ bench-diff:
 	  echo "(intentional? refresh with: make bench-baseline)"; \
 	  exit 1; \
 	fi
+	@if cmp -s bench/BENCH_obs_baseline.json BENCH_obs.json; then \
+	  echo "bench-diff: obs section matches the committed baseline"; \
+	else \
+	  echo "bench-diff: obs section DRIFTED from bench/BENCH_obs_baseline.json:"; \
+	  diff bench/BENCH_obs_baseline.json BENCH_obs.json | head -20; \
+	  echo "(intentional? refresh with: make bench-baseline)"; \
+	  exit 1; \
+	fi
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:
 	dune exec bench/main.exe -- --json --quick
 	cp BENCH_core.json bench/BENCH_baseline.json
-	@echo "updated bench/BENCH_baseline.json -- commit it"
+	cp BENCH_obs.json bench/BENCH_obs_baseline.json
+	@echo "updated bench/BENCH_baseline.json and bench/BENCH_obs_baseline.json -- commit them"
 
 clean:
 	dune clean

@@ -107,6 +107,50 @@ let j_field k v = Printf.sprintf "%S: %s" k v
 let j_obj fields = "{" ^ String.concat ", " fields ^ "}"
 let j_arr items = "[" ^ String.concat ", " items ^ "]"
 
+(* The "obs" section: one traced run of the CI-sized load cell.  The
+   tracer only reads the sim clock, so everything here — span counts,
+   the critical-path stage decomposition, the metrics-registry
+   rollup — is as deterministic as the rest of ["simulated"].  The
+   same object is also written alone to BENCH_obs.json so bench-diff
+   can pin it against its own committed baseline. *)
+let obs_section () =
+  let r =
+    Experiments.Trace_run.run ~cell:(List.hd Experiments.Load.smoke_cells) ()
+  in
+  let stage_fields (st : Obs.Export.stages) =
+    [
+      j_field "transport_ms" (j_num st.Obs.Export.transport_ms);
+      j_field "fault_ms" (j_num st.fault_ms);
+      j_field "commit_ms" (j_num st.commit_ms);
+      j_field "other_ms" (j_num st.other_ms);
+    ]
+  in
+  let pct = function
+    | None -> "null"
+    | Some (ts : Obs.Export.trace_sum) ->
+        j_obj
+          (j_field "total_ms" (j_num ts.Obs.Export.total_ms)
+          :: j_field "spans" (j_int ts.nspans)
+          :: stage_fields ts.st)
+  in
+  let s = r.Experiments.Trace_run.summary in
+  j_obj
+    [
+      j_field "cell"
+        (j_str r.Experiments.Trace_run.point.Experiments.Load.cell.label);
+      j_field "traces" (j_int s.Obs.Export.traces);
+      j_field "spans" (j_int s.spans);
+      j_field "mean" (j_obj (stage_fields s.s_mean));
+      j_field "p50" (pct s.p50);
+      j_field "p95" (pct s.p95);
+      j_field "p99" (pct s.p99);
+      j_field "registry"
+        (j_obj
+           (List.map
+              (fun (path, v) -> j_field path (j_int v))
+              r.Experiments.Trace_run.totals));
+    ]
+
 let simulated_metrics ~quick =
   let t1 = Experiments.T1_kernel.run ~samples:(if quick then 20 else 100) () in
   let t2 = Experiments.T2_network.run ~samples:(if quick then 10 else 50) () in
@@ -154,6 +198,8 @@ let simulated_metrics ~quick =
          else Experiments.Load.smoke_cells @ Experiments.Load.ab_cells)
       ()
   in
+  let obs = obs_section () in
+  let simulated =
   let fanout_points ps =
     j_arr
       (List.map
@@ -358,6 +404,7 @@ let simulated_metrics ~quick =
                     j_field "local_invokes" (j_int b.local_invokes);
                   ]);
            ]);
+      j_field "obs" obs;
       j_field "load"
         (j_obj
            [
@@ -389,9 +436,11 @@ let simulated_metrics ~quick =
                      load));
            ]);
     ]
+  in
+  (simulated, obs)
 
 let write_json ~quick path =
-  let simulated = simulated_metrics ~quick in
+  let simulated, obs = simulated_metrics ~quick in
   let wall =
     bechamel_estimates ~quota_s:(if quick then 0.5 else 2.0) ()
     |> List.map (fun (name, ms) ->
@@ -407,11 +456,18 @@ let write_json ~quick path =
         j_field "wall_clock" (j_arr wall);
       ]
   in
-  let oc = open_out path in
-  output_string oc doc;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s (%s sizes)\n" path (if quick then "quick" else "full")
+  let dump p s =
+    let oc = open_out p in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc
+  in
+  dump path doc;
+  (* the obs section alone, for bench-diff's second baseline: it has
+     no wall_clock suffix, so the comparison is a straight cmp *)
+  dump "BENCH_obs.json" obs;
+  Printf.printf "wrote %s and BENCH_obs.json (%s sizes)\n" path
+    (if quick then "quick" else "full")
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

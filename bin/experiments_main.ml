@@ -96,7 +96,46 @@ let run_one ~quick id =
         (fun p -> Printf.printf "  %s\n" (Experiments.Load.summary p))
         points
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
-  | other -> Printf.eprintf "unknown experiment %S (know: %s)\n" other (String.concat " " all_ids)
+  | "trace" ->
+      (* traced load cell: export the Chrome trace + registry
+         snapshot, validate the export, print the critical path *)
+      let cell =
+        if quick then List.hd Experiments.Load.smoke_cells
+        else Experiments.Trace_run.default_cell
+      in
+      let r = Experiments.Trace_run.run ~cell () in
+      Printf.printf "  %s\n" (Experiments.Load.summary r.Experiments.Trace_run.point);
+      print_string r.Experiments.Trace_run.report;
+      let write path s =
+        let oc = open_out path in
+        output_string oc s;
+        output_char oc '\n';
+        close_out oc
+      in
+      write "obs_trace.json" r.Experiments.Trace_run.chrome;
+      write "obs_metrics.json" r.Experiments.Trace_run.registries_json;
+      (match Obs.Export.validate_chrome r.Experiments.Trace_run.chrome with
+      | Ok events ->
+          Printf.printf
+            "wrote obs_trace.json (%d events, Perfetto-loadable) and \
+             obs_metrics.json\n"
+            events
+      | Error msg ->
+          Printf.eprintf "obs_trace.json failed validation: %s\n" msg;
+          exit 1);
+      (match Obs.Export.parse r.Experiments.Trace_run.registries_json with
+      | Ok _ -> ()
+      | Error msg ->
+          Printf.eprintf "obs_metrics.json failed validation: %s\n" msg;
+          exit 1)
+  | "load-xl" ->
+      (* the roadmap-scale cell: 200 nodes, 1M invocations; latency
+         in a streaming histogram so memory stays flat *)
+      let p = Experiments.Load.run_cell Experiments.Load.xl_cell in
+      Printf.printf "  %s\n" (Experiments.Load.summary p)
+  | other ->
+      Printf.eprintf "unknown experiment %S (know: %s trace load-xl)\n" other
+        (String.concat " " all_ids)
 
 let main quick ids =
   let ids = match ids with [] -> all_ids | ids -> List.map String.lowercase_ascii ids in

@@ -57,6 +57,14 @@ let aborts t = Sim.Stats.value t.abort_count
 let retries t = Sim.Stats.value t.retry_count
 let lock_rpcs t = Sim.Stats.value t.lock_rpc_count
 
+let metrics t =
+  [
+    ("atomicity/commits", Obs.Registry.Counter t.commit_count);
+    ("atomicity/aborts", Obs.Registry.Counter t.abort_count);
+    ("atomicity/retries", Obs.Registry.Counter t.retry_count);
+    ("atomicity/lock_rpcs", Obs.Registry.Counter t.lock_rpc_count);
+  ]
+
 let local_table t node_id =
   match Hashtbl.find_opt t.local_locks node_id with
   | Some tbl -> tbl
@@ -87,7 +95,10 @@ let dsm_rpc node ~dst body =
    data servers the transaction spans.  Results come back in input
    order, so vote counting and error handling stay deterministic. *)
 let participant_rpcs t node msgs =
-  let send (dst, body) = dsm_rpc node ~dst body in
+  (* fan-out workers run under fresh pids: re-bind the caller's span
+     so their RPCs stay in the transaction's trace *)
+  let parent = Obs.Tracer.current () in
+  let send (dst, body) = Obs.Tracer.under parent (fun () -> dsm_rpc node ~dst body) in
   if t.parallel_commit then Sim.Fanout.map msgs ~label:"2pc-rpc" ~f:send
   else List.map send msgs
 
@@ -107,6 +118,7 @@ let live_origin t st =
     | None -> st.coord
 
 let send_abort_everywhere t st =
+ Obs.Tracer.with_span "2pc.abort" @@ fun () ->
   let origin = live_origin t st in
   let homes =
     List.sort_uniq Net.Address.compare
@@ -193,7 +205,10 @@ let acquire_global t st node seg kind =
         st.status <- Rolling_back;
         spawn_rollback t st
       end);
-  match dsm_rpc node ~dst:home (P.Lock_segment { seg; kind; txn = st.txn }) with
+  match
+    Obs.Tracer.with_span "txn.lock" (fun () ->
+        dsm_rpc node ~dst:home (P.Lock_segment { seg; kind; txn = st.txn }))
+  with
   | Ok P.Lock_granted ->
       acquired := true;
       if st.status <> Active then raise Txn_abort_signal;
@@ -308,15 +323,16 @@ let commit t st =
   match st.scope with
   | Global ->
       let all_yes =
-        participant_rpcs t st.coord
-          (List.map
-             (fun (home, writes) ->
-               (home, P.Prepare { txn = st.txn; writes }))
-             grouped)
-        |> List.for_all (fun vote ->
-               match vote with
-               | Ok (P.Vote true) -> true
-               | Ok _ | Error Ratp.Endpoint.Timeout -> false)
+        Obs.Tracer.with_span "2pc.prepare" (fun () ->
+            participant_rpcs t st.coord
+              (List.map
+                 (fun (home, writes) ->
+                   (home, P.Prepare { txn = st.txn; writes }))
+                 grouped)
+            |> List.for_all (fun vote ->
+                   match vote with
+                   | Ok (P.Vote true) -> true
+                   | Ok _ | Error Ratp.Endpoint.Timeout -> false))
       in
       if not all_yes then begin
         st.status <- Rolling_back;
@@ -334,10 +350,13 @@ let commit t st =
         List.sort_uniq Net.Address.compare
           (List.map fst grouped @ st.lock_servers)
       in
-      List.iter
-        (fun r -> match r with Ok _ | Error Ratp.Endpoint.Timeout -> ())
-        (participant_rpcs t st.coord
-           (List.map (fun home -> (home, P.Commit { txn = st.txn })) involved));
+      Obs.Tracer.with_span "2pc.commit" (fun () ->
+          List.iter
+            (fun r -> match r with Ok _ | Error Ratp.Endpoint.Timeout -> ())
+            (participant_rpcs t st.coord
+               (List.map
+                  (fun home -> (home, P.Commit { txn = st.txn }))
+                  involved)));
       st.status <- Finished;
       Sim.Stats.incr t.commit_count
   | Local ->
@@ -353,14 +372,15 @@ let commit t st =
                 writes)
             grouped
       in
-      List.iter
-        (fun r ->
-          match r with
-          | Ok P.Batch_ok -> ()
-          | Ok _ | Error Ratp.Endpoint.Timeout ->
-              st.status <- Rolling_back;
-              raise Txn_abort_signal)
-        (participant_rpcs t st.coord msgs);
+      Obs.Tracer.with_span "lcp.commit" (fun () ->
+          List.iter
+            (fun r ->
+              match r with
+              | Ok P.Batch_ok -> ()
+              | Ok _ | Error Ratp.Endpoint.Timeout ->
+                  st.status <- Rolling_back;
+                  raise Txn_abort_signal)
+            (participant_rpcs t st.coord msgs));
       mark_all_clean frames;
       List.iter
         (fun node ->

@@ -67,3 +67,7 @@ val retries : t -> int
 
 val lock_rpcs : t -> int
 (** Lock requests sent to data servers (global transactions). *)
+
+val metrics : t -> (string * Obs.Registry.metric) list
+(** Live metric handles under ["atomicity/"] paths, for an
+    {!Obs.Registry}. *)

@@ -22,6 +22,7 @@ module Object_manager = Object_manager
 module Thread = Thread
 module Name_server = Name_server
 module Replicator = Replicator
+module Telemetry = Telemetry
 
 type system = {
   cluster : Cluster.t;

@@ -280,6 +280,7 @@ and start_daemons t node (a : activation) obj =
   end
 
 and invoke t ~node ~thread_id ~origin ~txn ~obj ~entry arg =
+ Obs.Tracer.with_span ~node:node.Ra.Node.id "invoke" @@ fun () ->
   if not node.Ra.Node.alive then failwith "Object_manager.invoke: dead node";
   let a = activate t node obj in
   let e =
@@ -524,3 +525,9 @@ let end_thread t thread_id =
 
 let invocations t = Sim.Stats.value t.invoke_count
 let local_invocations t = Sim.Stats.value t.local_invokes
+
+let metrics t =
+  [
+    ("om/invocations", Obs.Registry.Counter t.invoke_count);
+    ("om/local_invokes", Obs.Registry.Counter t.local_invokes);
+  ]

@@ -86,3 +86,6 @@ val invocations : t -> int
 val local_invocations : t -> int
 (** Invocations dispatched through {!invoke_remote} that took the
     same-node bypass instead of a RaTP transaction. *)
+
+val metrics : t -> (string * Obs.Registry.metric) list
+(** Live metric handles under ["om/"] paths, for an {!Obs.Registry}. *)

@@ -1,0 +1,42 @@
+(* Build the cluster's metric registries: one per node (transport
+   plus its DSM role) and one cluster-wide (object manager and
+   whatever extra handles the caller wires in, e.g. the atomicity
+   layer's — a layer above this library).  Registries hold live
+   handles, so build them once and snapshot whenever. *)
+
+let node_registry label (node : Ra.Node.t) role_metrics =
+  let r = Obs.Registry.create label in
+  Obs.Registry.register_all r (Ratp.Endpoint.metrics node.Ra.Node.endpoint);
+  Obs.Registry.register_all r role_metrics;
+  r
+
+let registries ?om ?(extra = []) (cl : Cluster.t) =
+  let data =
+    Array.to_list
+      (Array.mapi
+         (fun i node ->
+           node_registry
+             (Printf.sprintf "data-%d" node.Ra.Node.id)
+             node
+             (Dsm.Dsm_server.metrics cl.Cluster.servers.(i)))
+         cl.Cluster.data_nodes)
+  in
+  let compute =
+    Array.to_list
+      (Array.mapi
+         (fun i node ->
+           node_registry
+             (Printf.sprintf "compute-%d" node.Ra.Node.id)
+             node
+             (Dsm.Dsm_client.metrics cl.Cluster.clients.(i)))
+         cl.Cluster.compute_nodes)
+  in
+  let cluster = Obs.Registry.create "cluster" in
+  (match om with
+  | Some om -> Obs.Registry.register_all cluster (Object_manager.metrics om)
+  | None -> ());
+  Obs.Registry.register_all cluster extra;
+  (cluster :: data) @ compute
+
+let snapshot_json ?om ?extra cl =
+  Obs.Registry.snapshot_json (registries ?om ?extra cl)

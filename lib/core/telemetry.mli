@@ -1,0 +1,24 @@
+(** The cluster's unified metrics registry.
+
+    Collects every node's scattered [Sim.Stats] handles — transport
+    counters from its RaTP endpoint plus its DSM role (server on
+    data nodes, client on compute nodes) — into one {!Obs.Registry}
+    per node, with a ["cluster"] registry for node-independent
+    metrics (the object manager's, plus any [extra] handles a layer
+    above this library wires in, e.g. atomicity). *)
+
+val registries :
+  ?om:Object_manager.t ->
+  ?extra:(string * Obs.Registry.metric) list ->
+  Cluster.t ->
+  Obs.Registry.t list
+(** The cluster registry first, then data nodes, then compute nodes
+    (address order).  Registries hold live handles: build once,
+    snapshot at any point. *)
+
+val snapshot_json :
+  ?om:Object_manager.t ->
+  ?extra:(string * Obs.Registry.metric) list ->
+  Cluster.t ->
+  string
+(** {!Obs.Registry.snapshot_json} over {!registries}. *)

@@ -128,6 +128,7 @@ let install_extras t ~seg ~epoch0 extras =
     extras
 
 let remote_fetch t ~seg ~page ~mode =
+ Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.fetch" @@ fun () ->
   let home = locate_cached t seg in
   Sim.Stats.incr t.fetches;
   let use_stream = t.prefetch_window > 0 && mode = Ra.Partition.Read in
@@ -162,6 +163,7 @@ let remote_fetch t ~seg ~page ~mode =
       raise (Unavailable seg)
 
 let remote_writeback t ~seg ~page data =
+ Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.put" @@ fun () ->
   let home = locate_cached t seg in
   Sim.Stats.incr t.puts;
   match call t ~dst:home (P.Put_page { seg; page; data }) with
@@ -175,6 +177,7 @@ let remote_writeback t ~seg ~page data =
       raise (Unavailable seg)
 
 let remote_write_batch t ~seg writes =
+ Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.put" @@ fun () ->
   let home = locate_cached t seg in
   Sim.Stats.incr t.puts;
   match call t ~dst:home (P.Put_batch writes) with
@@ -276,3 +279,14 @@ let downgrades_received t = Sim.Stats.value t.downs
 let location_hits t = Sim.Stats.value t.loc_hits
 let location_misses t = Sim.Stats.value t.loc_misses
 let location_evictions t = Sim.Stats.value t.loc_evictions
+
+let metrics t =
+  [
+    ("dsmc/fetches", Obs.Registry.Counter t.fetches);
+    ("dsmc/puts", Obs.Registry.Counter t.puts);
+    ("dsmc/invals", Obs.Registry.Counter t.invals);
+    ("dsmc/downs", Obs.Registry.Counter t.downs);
+    ("dsmc/loc_hits", Obs.Registry.Counter t.loc_hits);
+    ("dsmc/loc_misses", Obs.Registry.Counter t.loc_misses);
+    ("dsmc/loc_evictions", Obs.Registry.Counter t.loc_evictions);
+  ]

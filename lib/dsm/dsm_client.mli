@@ -91,3 +91,7 @@ val location_misses : t -> int
 val location_evictions : t -> int
 (** Cached bindings dropped because the membership view condemned
     their home. *)
+
+val metrics : t -> (string * Obs.Registry.metric) list
+(** Live metric handles under ["dsmc/"] paths, for a per-node
+    {!Obs.Registry}. *)

@@ -107,9 +107,13 @@ let mirror_writes t writes =
         Sim.Stats.incr_by t.mirrored (List.length ws);
         ignore (call_server t ~dst (P.Mirror_writes ws))
       in
-      if t.parallel_coherence then
-        ignore (Sim.Fanout.map targets ~label:"dsm-mirror" ~f:send)
-      else List.iter send targets
+      Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.mirror" (fun () ->
+          (* fan-out workers run under fresh pids: re-bind the span *)
+          let parent = Obs.Tracer.current () in
+          let send dst = Obs.Tracer.under parent (fun () -> send dst) in
+          if t.parallel_coherence then
+            ignore (Sim.Fanout.map targets ~label:"dsm-mirror" ~f:send)
+          else List.iter send targets)
     end
   end
 
@@ -127,6 +131,7 @@ let recall t key =
   | Some w ->
       Sim.Stats.incr t.downs;
       (if not (Hashtbl.mem t.suspects w) then
+         Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.recall" @@ fun () ->
          match call_client t ~dst:w (P.Downgrade { seg; page }) with
          | Ok (P.Downgraded { dirty = Some d }) ->
              Store.Segment_store.write_page t.store seg page d
@@ -170,9 +175,16 @@ let invalidate_copies t key ~except =
   let invalidate peer = (peer, call_client t ~dst:peer (P.Invalidate { seg; page })) in
   let targets = owner_target @ reader_targets in
   let replies =
-    if t.parallel_coherence then
-      Sim.Fanout.map targets ~label:"dsm-inval" ~f:invalidate
-    else List.map invalidate targets
+    match targets with
+    | [] -> []
+    | _ ->
+        Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.inval" (fun () ->
+            (* fan-out workers run under fresh pids: re-bind the span *)
+            let parent = Obs.Tracer.current () in
+            let invalidate p = Obs.Tracer.under parent (fun () -> invalidate p) in
+            if t.parallel_coherence then
+              Sim.Fanout.map targets ~label:"dsm-inval" ~f:invalidate
+            else List.map invalidate targets)
   in
   List.iter
     (fun (peer, reply) ->
@@ -328,6 +340,23 @@ let handle_abort t txn =
   release_txn_everywhere t txn;
   P.Txn_done
 
+(* Span names for served operations — static strings, so labelling a
+   traced request allocates nothing. *)
+let op_label = function
+  | P.Get_page _ -> "serve.get"
+  | P.Put_page _ | P.Put_batch _ -> "serve.put"
+  | P.Overwrite _ | P.Mirror_writes _ | P.Backfill _ -> "serve.mirror"
+  | P.Read_pages _ -> "serve.read"
+  | P.Create_segment _ | P.Delete_segment _ -> "serve.seg"
+  | P.Lock_segment _ -> "serve.lock"
+  | P.Get_descriptor _ | P.Register_object _ | P.Unregister_object _
+  | P.List_objects ->
+      "serve.desc"
+  | P.Prepare _ -> "serve.prepare"
+  | P.Commit _ -> "serve.commit"
+  | P.Abort _ -> "serve.abort"
+  | _ -> "serve.other"
+
 let handle t ~src body =
   (* any message from a node proves it is alive again *)
   Hashtbl.remove t.suspects src;
@@ -464,8 +493,9 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
   in
   Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.service
     (fun ~src body ->
-      let reply = handle t ~src body in
-      (reply, P.request_bytes reply));
+      Obs.Tracer.with_span ~node:node.Ra.Node.id (op_label body) (fun () ->
+          let reply = handle t ~src body in
+          (reply, P.request_bytes reply)));
   t
 
 let set_outcome_oracle t oracle = t.oracle <- oracle
@@ -573,3 +603,14 @@ let downgrades_sent t = Sim.Stats.value t.downs
 let commits t = Sim.Stats.value t.commit_count
 let aborts t = Sim.Stats.value t.abort_count
 let mirrored_writes t = Sim.Stats.value t.mirrored
+
+let metrics t =
+  [
+    ("dsm/pages_served", Obs.Registry.Counter t.served);
+    ("dsm/pages_prefetched", Obs.Registry.Counter t.prefetched);
+    ("dsm/invalidations", Obs.Registry.Counter t.invals);
+    ("dsm/downgrades", Obs.Registry.Counter t.downs);
+    ("dsm/commits", Obs.Registry.Counter t.commit_count);
+    ("dsm/aborts", Obs.Registry.Counter t.abort_count);
+    ("dsm/mirrored_writes", Obs.Registry.Counter t.mirrored);
+  ]

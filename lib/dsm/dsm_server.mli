@@ -91,3 +91,7 @@ val aborts : t -> int
 
 val mirrored_writes : t -> int
 (** Page images forwarded to backups over this server's lifetime. *)
+
+val metrics : t -> (string * Obs.Registry.metric) list
+(** Live metric handles under ["dsm/"] paths, for a per-node
+    {!Obs.Registry}. *)

@@ -24,3 +24,4 @@ module Write_fault_fanout = Write_fault_fanout
 module Page_batching = Page_batching
 module Transport = Transport
 module Load = Load
+module Trace_run = Trace_run

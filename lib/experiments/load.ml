@@ -82,6 +82,14 @@ let big_cell =
   cell ~label:"big-shard" ~data:16 ~compute:40 ~clients:2000 ~rate:1500.0
     ~invocations:100_000 ~write_pct:5 ~nkeys:1024 ~sharded:true
 
+(* The roadmap target: hundreds of nodes, a million invocations.
+   Latency lives in a streaming histogram, so the sample store stays
+   O(1) no matter how many arrivals complete; run it via
+   [experiments_main -- load-xl] (too big for tier-1 CI). *)
+let xl_cell =
+  cell ~label:"xl-shard" ~data:40 ~compute:160 ~clients:8000 ~rate:4000.0
+    ~invocations:1_000_000 ~write_pct:5 ~nkeys:4096 ~sharded:true
+
 let full_cells = smoke_cells @ ab_cells @ [ big_cell ]
 
 (* A modern fabric rather than the paper's 10 Mbit/s bus: the
@@ -100,7 +108,7 @@ let ether_config =
 
 let key_name k = Printf.sprintf "obj-%04d" k
 
-let run_cell ?(seed = 42) (c : cell) =
+let run_cell ?(seed = 42) ?(atomicity = false) ?observer (c : cell) =
   let wall0 = Unix.gettimeofday () in
   let result =
     Sim.exec ~seed (fun () ->
@@ -112,24 +120,37 @@ let run_cell ?(seed = 42) (c : cell) =
         let cl = sys.Clouds.cluster in
         Cl.set_name_sharding cl c.sharded;
         let om = sys.Clouds.om in
+        (* [atomicity] runs the cell with the transaction layer
+           installed, so binds pay a real lock/commit stage — the
+           configuration the traced stage breakdown decomposes.  The
+           bench cells leave it off, as they always have. *)
+        let atm = if atomicity then Some (Atomicity.Manager.install om ()) else None in
         (* the bound sysnames are well-known names: the harness
            measures the name service, not the objects behind it *)
         for k = 0 to c.nkeys - 1 do
           Clouds.Name_server.bind om ~name:(key_name k)
             (Ra.Sysname.well_known (k + 1))
         done;
-        let lat = Sim.Stats.series "load.latency_ms" in
+        (* streaming histogram: O(1) memory, so the 1M-invocation
+           cell carries the same footprint as the smoke cells *)
+        let lat = Sim.Stats.hist "load.latency_ms" in
         let misses = ref 0 in
         let retries = ref 0 in
         let completed = ref 0 in
         (* a saturated stage (the centralized arm on purpose) can push
            a data server past the RaTP retry ladder; the open-loop
            client just backs off and retries, and the stall lands in
-           the latency sample like any other queueing delay *)
+           the latency sample like any other queueing delay.  Under
+           [atomicity], deadlock-watchdog aborts surface the same
+           way. *)
         let rec with_retry tries f =
           match f () with
           | v -> v
           | exception Dsm.Dsm_client.Unavailable _ when tries < 400 ->
+              incr retries;
+              Sim.sleep (Sim.Time.ms 5);
+              with_retry (tries + 1) f
+          | exception Atomicity.Manager.Aborted _ when tries < 400 ->
               incr retries;
               Sim.sleep (Sim.Time.ms 5);
               with_retry (tries + 1) f
@@ -139,6 +160,7 @@ let run_cell ?(seed = 42) (c : cell) =
         let rng = Sim.Rng.create ~seed:(seed lxor 0x10ad) in
         let ncomp = Array.length cl.Cl.compute_nodes in
         let request i () =
+         Obs.Tracer.with_span "request" @@ fun () ->
           let t_arrival = Sim.now () in
           let node = cl.Cl.compute_nodes.((i mod c.clients) mod ncomp) in
           let k = Sim.Rng.int rng c.nkeys in
@@ -153,7 +175,7 @@ let run_cell ?(seed = 42) (c : cell) =
              with
              | Some _ -> ()
              | None -> incr misses);
-          Sim.Stats.add lat
+          Sim.Stats.hadd lat
             (Sim.Time.to_ms_f (Sim.Time.diff (Sim.now ()) t_arrival));
           incr completed;
           if !completed = c.invocations then
@@ -175,21 +197,24 @@ let run_cell ?(seed = 42) (c : cell) =
         in
         arm 0 t_start;
         let sim_ms = Sim.Ivar.read done_ivar in
+        (* the observer runs inside the simulation, while the cluster
+           is alive — e.g. to snapshot the metrics registries *)
+        (match observer with Some f -> f cl om atm | None -> ());
         (sim_ms, !misses, !retries, lat))
   in
   let sim_ms, misses, retries, lat = result in
   let wall_s = Unix.gettimeofday () -. wall0 in
   {
     cell = c;
-    completed = Sim.Stats.n lat;
+    completed = Sim.Stats.hist_n lat;
     misses;
     retries;
-    p50_ms = Sim.Stats.percentile lat 50.0;
-    p95_ms = Sim.Stats.percentile lat 95.0;
-    p99_ms = Sim.Stats.percentile lat 99.0;
-    mean_ms = Sim.Stats.mean lat;
-    max_ms = Sim.Stats.max_v lat;
-    throughput = float_of_int (Sim.Stats.n lat) /. (sim_ms /. 1000.0);
+    p50_ms = Sim.Stats.hist_percentile lat 50.0;
+    p95_ms = Sim.Stats.hist_percentile lat 95.0;
+    p99_ms = Sim.Stats.hist_percentile lat 99.0;
+    mean_ms = Sim.Stats.hist_mean lat;
+    max_ms = Sim.Stats.hist_max lat;
+    throughput = float_of_int (Sim.Stats.hist_n lat) /. (sim_ms /. 1000.0);
     sim_ms;
     wall_s;
   }

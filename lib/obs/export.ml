@@ -1,0 +1,424 @@
+(* Exports over a finished tracer: Chrome trace-event JSON (loadable
+   in Perfetto / chrome://tracing), a per-trace stage breakdown, and
+   a text critical-path report.  All output is deterministic: spans
+   render in creation order with fixed float formatting. *)
+
+(* ------------------------------------------------------------------ *)
+(* Stage classification.
+
+   Span names map onto the paper's mechanism layers: [transport] is
+   RaTP call time, [fault] is DSM page movement and coherence,
+   [commit] is locking and commit protocol work, everything else
+   (activation, user compute, queueing inside the request) is
+   [other].  A span's *self time* — its duration minus the durations
+   of its children — is charged to its own stage, so an RPC issued
+   by a 2PC round counts as transport, not commit. *)
+
+type stage = Transport | Fault | Commit | Other
+
+let stage_of = function
+  | "rpc" -> Transport
+  | "2pc.prepare" | "2pc.commit" | "2pc.abort" | "lcp.commit" | "txn.lock"
+  | "serve.prepare" | "serve.commit" | "serve.abort" | "serve.lock" ->
+      Commit
+  | name
+    when String.length name >= 4 && String.equal (String.sub name 0 4) "dsm."
+    ->
+      Fault
+  | name
+    when String.length name >= 6 && String.equal (String.sub name 0 6) "serve."
+    ->
+      Fault
+  | _ -> Other
+
+let stage_label = function
+  | Transport -> "transport"
+  | Fault -> "fault"
+  | Commit -> "commit"
+  | Other -> "other"
+
+(* ------------------------------------------------------------------ *)
+(* Per-trace stage breakdown *)
+
+type stages = {
+  mutable transport_ms : float;
+  mutable fault_ms : float;
+  mutable commit_ms : float;
+  mutable other_ms : float;
+}
+
+type trace_sum = {
+  trace : int;
+  root : string;  (* root span name *)
+  total_ms : float;  (* root span duration *)
+  mutable nspans : int;
+  st : stages;
+}
+
+let bump st stage v =
+  match stage with
+  | Transport -> st.transport_ms <- st.transport_ms +. v
+  | Fault -> st.fault_ms <- st.fault_ms +. v
+  | Commit -> st.commit_ms <- st.commit_ms +. v
+  | Other -> st.other_ms <- st.other_ms +. v
+
+(* Self time clamps at 0: fan-out children run concurrently, so
+   their summed durations can exceed the parent's wall time — the
+   breakdown is a cost decomposition, not a wall-clock partition. *)
+let per_trace (t : Tracer.t) =
+  let n = Tracer.span_count t in
+  let child_sum = Array.make (max n 1) 0.0 in
+  Tracer.iter t (fun sp ->
+      if sp.Tracer.parent >= 0 then
+        child_sum.(sp.Tracer.parent) <-
+          child_sum.(sp.Tracer.parent) +. Tracer.duration_ms sp);
+  let traces = Hashtbl.create 256 in
+  let order = ref [] in
+  Tracer.iter t (fun sp ->
+      let ts =
+        match Hashtbl.find_opt traces sp.Tracer.trace with
+        | Some ts -> ts
+        | None ->
+            let ts =
+              {
+                trace = sp.Tracer.trace;
+                root = sp.Tracer.name;
+                total_ms = Tracer.duration_ms sp;
+                nspans = 0;
+                st =
+                  {
+                    transport_ms = 0.0;
+                    fault_ms = 0.0;
+                    commit_ms = 0.0;
+                    other_ms = 0.0;
+                  };
+              }
+            in
+            Hashtbl.add traces sp.Tracer.trace ts;
+            order := sp.Tracer.trace :: !order;
+            ts
+      in
+      let self =
+        Float.max 0.0 (Tracer.duration_ms sp -. child_sum.(sp.Tracer.id))
+      in
+      bump ts.st (stage_of sp.Tracer.name) self;
+      ts.nspans <- ts.nspans + 1);
+  List.rev_map (fun tid -> Hashtbl.find traces tid) !order
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path report *)
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let line b tag (ts : trace_sum) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "  %-5s %9.3f ms = %8.3f transport + %8.3f fault + %8.3f commit + \
+        %8.3f other  (trace %d, %d spans)\n"
+       tag ts.total_ms ts.st.transport_ms ts.st.fault_ms ts.st.commit_ms
+       ts.st.other_ms ts.trace ts.nspans)
+
+(* The report reads the traces whose root span has the given name
+   (default "request", the load harness's root) and prints the mean
+   stage decomposition plus the actual traces at p50/p95/p99 of
+   total latency: "p99 invocation = X ms transport + Y ms fault +
+   Z ms commit". *)
+let report ?(root = "request") (t : Tracer.t) =
+  let all = per_trace t in
+  let reqs =
+    List.filter (fun ts -> String.equal ts.root root) all
+    |> List.sort (fun a b -> Float.compare a.total_ms b.total_ms)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "critical path: %d %s traces of %d total, %d spans recorded\n"
+       (List.length reqs) root (List.length all) (Tracer.span_count t));
+  (match reqs with
+  | [] -> Buffer.add_string b "  (no traces with that root)\n"
+  | _ ->
+      let arr = Array.of_list reqs in
+      let n = Array.length arr in
+      let at p = arr.(int_of_float (p /. 100.0 *. float_of_int (n - 1))) in
+      let mean_ts =
+        {
+          trace = -1;
+          root;
+          total_ms = mean (List.map (fun ts -> ts.total_ms) reqs);
+          nspans =
+            List.fold_left (fun a ts -> a + ts.nspans) 0 reqs
+            / max 1 (List.length reqs);
+          st =
+            {
+              transport_ms = mean (List.map (fun ts -> ts.st.transport_ms) reqs);
+              fault_ms = mean (List.map (fun ts -> ts.st.fault_ms) reqs);
+              commit_ms = mean (List.map (fun ts -> ts.st.commit_ms) reqs);
+              other_ms = mean (List.map (fun ts -> ts.st.other_ms) reqs);
+            };
+        }
+      in
+      line b "mean" mean_ts;
+      line b "p50" (at 50.0);
+      line b "p95" (at 95.0);
+      line b "p99" (at 99.0));
+  Buffer.contents b
+
+(* Aggregate stage means and tail picks for machine-readable output
+   (the bench "obs" section). *)
+type summary = {
+  traces : int;
+  spans : int;
+  s_mean : stages;
+  p50 : trace_sum option;
+  p95 : trace_sum option;
+  p99 : trace_sum option;
+}
+
+let summarize ?(root = "request") (t : Tracer.t) =
+  let reqs =
+    List.filter (fun ts -> String.equal ts.root root) (per_trace t)
+    |> List.sort (fun a b -> Float.compare a.total_ms b.total_ms)
+  in
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let at p =
+    if n = 0 then None
+    else Some arr.(int_of_float (p /. 100.0 *. float_of_int (n - 1)))
+  in
+  {
+    traces = n;
+    spans = Tracer.span_count t;
+    s_mean =
+      {
+        transport_ms = mean (List.map (fun ts -> ts.st.transport_ms) reqs);
+        fault_ms = mean (List.map (fun ts -> ts.st.fault_ms) reqs);
+        commit_ms = mean (List.map (fun ts -> ts.st.commit_ms) reqs);
+        other_ms = mean (List.map (fun ts -> ts.st.other_ms) reqs);
+      };
+    p50 = at 50.0;
+    p95 = at 95.0;
+    p99 = at 99.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON *)
+
+(* One complete event (ph "X") per span; ts/dur in microseconds as
+   the format requires, tid = trace id so Perfetto lays each
+   invocation out on its own track, pid = node address. *)
+let chrome_json (t : Tracer.t) =
+  let b = Buffer.create (256 * max 1 (Tracer.span_count t)) in
+  Buffer.add_string b "{\"traceEvents\": [";
+  let first = ref true in
+  Tracer.iter t (fun sp ->
+      if !first then first := false else Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": %d, \"tid\": %d, \"args\": {\"span\": \
+            %d, \"parent\": %d}}"
+           sp.Tracer.name
+           (stage_label (stage_of sp.Tracer.name))
+           (Sim.Time.to_us_f sp.Tracer.start)
+           (Sim.Time.to_us_f (Sim.Time.diff sp.Tracer.stop sp.Tracer.start))
+           sp.Tracer.node sp.Tracer.trace sp.Tracer.id sp.Tracer.parent));
+  Buffer.add_string b "], \"displayTimeUnit\": \"ms\"}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader — enough to validate our own exports without
+   a JSON dependency: full value grammar, string escapes, numbers. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.equal (String.sub s !pos l) word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 >= n then fail "short \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?' (* non-ASCII: placeholder *)
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          go ()
+      | c when Char.code c < 0x20 -> fail "control char in string"
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d then fail "expected digit"
+    in
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let elts = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            elts := v :: !elts;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          Arr (List.rev !elts)
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* A valid non-empty Chrome trace export: parses, has a traceEvents
+   array with at least one complete event carrying name/ts/dur. *)
+let validate_chrome s =
+  match parse s with
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok v -> (
+      match member "traceEvents" v with
+      | Some (Arr []) -> Error "traceEvents is empty"
+      | Some (Arr evs) ->
+          let ok_event e =
+            match (member "name" e, member "ts" e, member "dur" e) with
+            | Some (Str _), Some (Num _), Some (Num _) -> true
+            | _ -> false
+          in
+          if List.for_all ok_event evs then Ok (List.length evs)
+          else Error "traceEvents contains a malformed event"
+      | _ -> Error "missing traceEvents array")

@@ -1,0 +1,6 @@
+(** Observability: causal tracing, the metrics registry, and trace
+    exports.  See DESIGN.md §15. *)
+
+module Tracer = Tracer
+module Registry = Registry
+module Export = Export

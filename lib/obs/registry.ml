@@ -1,0 +1,130 @@
+(* A named tree of live metric handles.
+
+   Components keep updating their own [Sim.Stats] counters exactly as
+   before; a registry just holds (path -> handle) so one snapshot can
+   walk everything a node exposes.  Snapshots render to JSON with
+   sorted keys and fixed float formatting, so fixed-seed runs are
+   byte-identical. *)
+
+type metric =
+  | Counter of Sim.Stats.counter
+  | Keyed of Sim.Stats.keyed
+  | Series of Sim.Stats.series
+  | Hist of Sim.Stats.hist
+
+type t = { label : string; tbl : (string, metric) Hashtbl.t }
+
+let create label = { label; tbl = Hashtbl.create 32 }
+let label t = t.label
+let register t path m = Hashtbl.replace t.tbl path m
+let register_all t ms = List.iter (fun (path, m) -> register t path m) ms
+let find t path = Hashtbl.find_opt t.tbl path
+
+let items t =
+  Hashtbl.fold (fun path m acc -> (path, m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Sum of integer-valued metrics (counters and keyed families) by
+   path across registries — the cluster-wide rollup bench reports. *)
+let totals regs =
+  let acc = Hashtbl.create 32 in
+  let bump path v =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt acc path) in
+    Hashtbl.replace acc path (cur + v)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (path, m) ->
+          match m with
+          | Counter c -> bump path (Sim.Stats.value c)
+          | Keyed k ->
+              List.iter (fun (_, v) -> bump path v) (Sim.Stats.kitems k)
+          | Series _ | Hist _ -> ())
+        (items r))
+    regs;
+  Hashtbl.fold (fun path v l -> (path, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- JSON rendering (hand-rolled, same conventions as bench) ---- *)
+
+let j_str b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let j_num b f = Buffer.add_string b (Printf.sprintf "%.6f" f)
+
+let summary_json b ~n ~mean ~p50 ~p95 ~p99 ~max =
+  Buffer.add_string b "{\"n\": ";
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_string b ", \"mean_ms\": ";
+  j_num b mean;
+  Buffer.add_string b ", \"p50_ms\": ";
+  j_num b p50;
+  Buffer.add_string b ", \"p95_ms\": ";
+  j_num b p95;
+  Buffer.add_string b ", \"p99_ms\": ";
+  j_num b p99;
+  Buffer.add_string b ", \"max_ms\": ";
+  j_num b max;
+  Buffer.add_char b '}'
+
+let metric_json b = function
+  | Counter c -> Buffer.add_string b (string_of_int (Sim.Stats.value c))
+  | Keyed k ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (key, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          j_str b (string_of_int key);
+          Buffer.add_string b ": ";
+          Buffer.add_string b (string_of_int v))
+        (Sim.Stats.kitems k);
+      Buffer.add_char b '}'
+  | Series s ->
+      let p = Sim.Stats.percentile s in
+      summary_json b ~n:(Sim.Stats.n s) ~mean:(Sim.Stats.mean s)
+        ~p50:(p 50.0) ~p95:(p 95.0) ~p99:(p 99.0) ~max:(Sim.Stats.max_v s)
+  | Hist h ->
+      let p = Sim.Stats.hist_percentile h in
+      summary_json b ~n:(Sim.Stats.hist_n h) ~mean:(Sim.Stats.hist_mean h)
+        ~p50:(p 50.0) ~p95:(p 95.0) ~p99:(p 99.0) ~max:(Sim.Stats.hist_max h)
+
+let to_buffer b t =
+  Buffer.add_string b "{\"node\": ";
+  j_str b t.label;
+  Buffer.add_string b ", \"metrics\": {";
+  List.iteri
+    (fun i (path, m) ->
+      if i > 0 then Buffer.add_string b ", ";
+      j_str b path;
+      Buffer.add_string b ": ";
+      metric_json b m)
+    (items t);
+  Buffer.add_string b "}}"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  to_buffer b t;
+  Buffer.contents b
+
+let snapshot_json regs =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ", ";
+      to_buffer b r)
+    regs;
+  Buffer.add_char b ']';
+  Buffer.contents b

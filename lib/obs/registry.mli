@@ -1,0 +1,46 @@
+(** Per-node metrics registry.
+
+    Unifies the [Sim.Stats] counters, keyed families, series and
+    histograms scattered across components into one named tree: each
+    component exposes its live handles as [(path, metric)] pairs, a
+    registry per node collects them, and a snapshot renders the
+    whole forest as deterministic JSON (sorted keys, fixed float
+    format).  Registration is cheap and snapshot-time only reads —
+    the hot paths keep bumping the same [Sim.Stats] values they
+    always did. *)
+
+type metric =
+  | Counter of Sim.Stats.counter
+  | Keyed of Sim.Stats.keyed
+  | Series of Sim.Stats.series
+  | Hist of Sim.Stats.hist
+
+type t
+
+val create : string -> t
+(** A registry labelled with its owner, e.g. ["data-3"]. *)
+
+val label : t -> string
+
+val register : t -> string -> metric -> unit
+(** [register t path m] adds (or replaces) the metric at a
+    slash-separated path, e.g. ["ratp/retrans"]. *)
+
+val register_all : t -> (string * metric) list -> unit
+val find : t -> string -> metric option
+
+val items : t -> (string * metric) list
+(** All (path, metric) pairs sorted by path. *)
+
+val totals : t list -> (string * int) list
+(** Integer metrics (counters; keyed families summed over keys)
+    rolled up across registries by path, sorted — the cluster-wide
+    view bench snapshots. *)
+
+val to_json : t -> string
+(** [{"node": label, "metrics": {path: value, ...}}] with sorted
+    paths; counters render as integers, keyed families as objects,
+    series/histograms as summary objects. *)
+
+val snapshot_json : t list -> string
+(** JSON array of {!to_json} objects, in list order. *)

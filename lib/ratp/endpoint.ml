@@ -103,6 +103,17 @@ let nacks_sent t = Sim.Stats.value t.nacks
 let transactions t = Sim.Stats.value t.completed
 let server_cache_size t = Tid_table.length t.servers
 
+let metrics t =
+  [
+    ("ratp/retrans", Obs.Registry.Counter t.retrans);
+    ("ratp/retrans_bytes", Obs.Registry.Counter t.retrans_bytes);
+    ("ratp/nacks", Obs.Registry.Counter t.nacks);
+    ("ratp/transactions", Obs.Registry.Counter t.completed);
+    ("ratp/retrans_by", Obs.Registry.Keyed t.retrans_by);
+    ("ratp/nacks_by", Obs.Registry.Keyed t.nacks_by);
+    ("ratp/rto_ms_by", Obs.Registry.Keyed t.rto_by);
+  ]
+
 (* --- adaptive retransmission timeout -------------------------------- *)
 
 let rto_state_for t dst =
@@ -272,13 +283,17 @@ let run_handler t ~(src : Net.Address.t) ~tid ~service body =
              (* unknown service: drop; the client will time out *)
              Tid_table.remove t.servers tid
          | Some handler ->
-             Sim.sleep t.cfg.proc_cost;
-             let reply, reply_size = handler ~src body in
-             Tid_table.replace t.servers tid (Done { reply; reply_size });
-             schedule_cache_expiry t tid;
-             Sim.sleep t.cfg.proc_cost;
-             send_fragments t ~dst:src ~service ~tid ~kind:Packet.Reply
-               ~total_size:reply_size reply))
+             (* run under the caller's span so server-side spans
+                join the client's trace *)
+             Obs.Tracer.accept ~origin:tid.Packet.origin ~seq:tid.Packet.seq
+               (fun () ->
+                 Sim.sleep t.cfg.proc_cost;
+                 let reply, reply_size = handler ~src body in
+                 Tid_table.replace t.servers tid (Done { reply; reply_size });
+                 schedule_cache_expiry t tid;
+                 Sim.sleep t.cfg.proc_cost;
+                 send_fragments t ~dst:src ~service ~tid ~kind:Packet.Reply
+                   ~total_size:reply_size reply)))
 
 let handle_request t ~src (pkt : Packet.t) =
   match Tid_table.find_opt t.servers pkt.tid with
@@ -507,8 +522,17 @@ let call t ~dst ~service ~size body =
   in
   Tid_table.replace t.clients tid pc;
   let req_nfrags = Packet.nfrags_of ~frag_payload:t.cfg.frag_payload size in
+  (* The span covers the whole blocking exchange (send, retries,
+     reply); [offer] lets the server's handler process parent its
+     spans under this call via the transaction id — a side-channel
+     table, nothing on the wire. *)
+  let span = Obs.Tracer.start ~node:t.address "rpc" in
+  Obs.Tracer.offer ~origin:t.address ~seq;
   Fun.protect
-    ~finally:(fun () -> Tid_table.remove t.clients tid)
+    ~finally:(fun () ->
+      Obs.Tracer.retract ~origin:t.address ~seq;
+      Obs.Tracer.finish span;
+      Tid_table.remove t.clients tid)
     (fun () ->
       let t_start = Sim.now () in
       (* Retransmission: under [selective_retransmit] a timeout sends

@@ -128,3 +128,7 @@ val peer_stats : t -> peer_stats list
     [ratp.rto_us] — backed by {!Sim.Stats.keyed}), sorted by peer.
     Lets an experiment attribute retransmissions to the peer that
     caused them. *)
+
+val metrics : t -> (string * Obs.Registry.metric) list
+(** Live metric handles under ["ratp/"] paths, for a per-node
+    {!Obs.Registry}. *)

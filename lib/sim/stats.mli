@@ -31,7 +31,7 @@ val total : series -> float
 
 val percentile : series -> float -> float
 (** [percentile s p] with [p] in [0,100]; linear interpolation on the
-    sorted samples.  Raises [Invalid_argument] on an empty series. *)
+    sorted samples.  0.0 on an empty series, like [mean]. *)
 
 val stddev : series -> float
 
@@ -67,3 +67,45 @@ val kitems : keyed -> (int * int) list
 (** All (key, value) pairs, sorted by key (deterministic). *)
 
 val keyed_name : keyed -> string
+
+type hist
+(** A streaming histogram: HDR-style logarithmic buckets over
+    non-negative samples.  O(1) memory regardless of stream length
+    (one fixed bucket array), exact count/sum/min/max, and any
+    percentile within 1% relative error of the exact sorted-series
+    answer.  Use it where a [series] would hold millions of
+    samples. *)
+
+val hist : string -> hist
+(** A fresh, empty histogram with a display name. *)
+
+val hadd : hist -> float -> unit
+(** Record one sample.  Negative or zero samples land in the lowest
+    bucket (min/max stay exact). *)
+
+val hadd_span : hist -> Time.span -> unit
+(** Record a duration sample, converted to milliseconds. *)
+
+val hist_n : hist -> int
+val hist_total : hist -> float
+
+val hist_mean : hist -> float
+(** Exact (tracked sum / count); 0.0 on an empty histogram. *)
+
+val hist_min : hist -> float
+(** Exact smallest sample; 0.0 on an empty histogram. *)
+
+val hist_max : hist -> float
+(** Exact largest sample; 0.0 on an empty histogram. *)
+
+val hist_percentile : hist -> float -> float
+(** [hist_percentile h p] with [p] in [0,100]: the geometric midpoint
+    of the bucket holding the rank-[p] sample (same rank convention
+    as {!percentile}), clamped into [[min, max]]; ≤1% relative error
+    vs the exact series.  0.0 on an empty histogram. *)
+
+val hist_name : hist -> string
+
+val hist_items : hist -> (float * int) list
+(** Non-empty buckets as (representative value, count) pairs in
+    increasing value order — the export-friendly view. *)

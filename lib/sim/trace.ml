@@ -1,28 +1,78 @@
+(* Entries live in a growable array (amortized O(1) record, no list
+   cells): [entries] materializes a list without re-reversing, [pp]
+   iterates in place, and [count ()] is O(1).  An optional capacity
+   turns the array into a ring that keeps the most recent entries —
+   a long run can stay traced without unbounded memory. *)
+
 type entry = { at : Time.t; tag : string; detail : string }
 
-type t = { mutable on : bool; mutable rev_entries : entry list }
+let dummy = { at = 0; tag = ""; detail = "" }
 
-let create ?(enabled = true) () = { on = enabled; rev_entries = [] }
+type t = {
+  mutable on : bool;
+  capacity : int; (* 0 = unbounded *)
+  mutable data : entry array;
+  mutable count : int; (* stored entries *)
+  mutable next : int; (* ring write position when capacity > 0 *)
+}
+
+let create ?(enabled = true) ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { on = enabled; capacity; data = [||]; count = 0; next = 0 }
 
 let enabled t = t.on
 let set_enabled t v = t.on <- v
 
 let record t at tag detail =
-  if t.on then t.rev_entries <- { at; tag; detail } :: t.rev_entries
+  if t.on then begin
+    let e = { at; tag; detail } in
+    if t.capacity > 0 then begin
+      if Array.length t.data = 0 then t.data <- Array.make t.capacity dummy;
+      t.data.(t.next) <- e;
+      t.next <- (t.next + 1) mod t.capacity;
+      if t.count < t.capacity then t.count <- t.count + 1
+    end
+    else begin
+      if t.count = Array.length t.data then begin
+        let grown = Array.make (max 64 (2 * t.count)) dummy in
+        Array.blit t.data 0 grown 0 t.count;
+        t.data <- grown
+      end;
+      t.data.(t.count) <- e;
+      t.count <- t.count + 1
+    end
+  end
 
-let entries t = List.rev t.rev_entries
+(* index of the i-th stored entry in chronological order *)
+let nth t i =
+  if t.capacity > 0 && t.count = t.capacity then
+    t.data.((t.next + i) mod t.capacity)
+  else t.data.(i)
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f (nth t i)
+  done
+
+let entries t =
+  let acc = ref [] in
+  for i = t.count - 1 downto 0 do
+    acc := nth t i :: !acc
+  done;
+  !acc
 
 let count t ?tag () =
   match tag with
-  | None -> List.length t.rev_entries
+  | None -> t.count
   | Some tag ->
-      List.fold_left
-        (fun acc e -> if String.equal e.tag tag then acc + 1 else acc)
-        0 t.rev_entries
+      let k = ref 0 in
+      iter t (fun e -> if String.equal e.tag tag then incr k);
+      !k
 
-let clear t = t.rev_entries <- []
+let clear t =
+  t.count <- 0;
+  t.next <- 0
 
 let pp fmt t =
-  List.iter
-    (fun e -> Format.fprintf fmt "%a %-12s %s@." Time.pp e.at e.tag e.detail)
-    (entries t)
+  iter t (fun e ->
+      Format.fprintf fmt "%a %-12s %s@." Time.pp e.at e.tag e.detail)

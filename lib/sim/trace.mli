@@ -1,15 +1,19 @@
 (** Lightweight event tracing.
 
-    A trace is an append-only list of timestamped tagged records,
-    attached to an engine by the caller.  Disabled traces cost one
-    branch per event.  Tests assert on trace contents; benches leave
-    tracing off. *)
+    A trace is an append-only sequence of timestamped tagged records,
+    attached to an engine by the caller, stored in a growable array
+    (amortized O(1) record; [count ()] is O(1)).  Disabled traces
+    cost one branch per event.  Tests assert on trace contents;
+    benches leave tracing off. *)
 
 type t
 
 type entry = { at : Time.t; tag : string; detail : string }
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] (default 0 = unbounded) bounds storage to the most
+    recent [capacity] entries — a ring, so long traced runs keep the
+    recent past without unbounded memory. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -21,7 +25,12 @@ val entries : t -> entry list
 (** Entries in chronological (append) order. *)
 
 val count : t -> ?tag:string -> unit -> int
-(** Number of entries, optionally restricted to one tag. *)
+(** Number of stored entries — O(1) without [tag], one array walk
+    with it. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Visit stored entries in chronological order without building a
+    list. *)
 
 val clear : t -> unit
 

@@ -1,0 +1,224 @@
+(* The observability layer: span trees are deterministic, tracing
+   never perturbs the simulation it observes, registries snapshot to
+   valid JSON, and the exports validate themselves. *)
+
+open Obs
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer mechanics *)
+
+let test_span_nesting () =
+  let tr = Tracer.create () in
+  Tracer.install tr;
+  Fun.protect ~finally:Tracer.uninstall (fun () ->
+      Sim.exec (fun () ->
+          Tracer.with_span "outer" (fun () ->
+              Sim.sleep (Sim.Time.ms 2);
+              Tracer.with_span "inner" (fun () -> Sim.sleep (Sim.Time.ms 1)));
+          Tracer.with_span "next" (fun () -> ())));
+  check_int "three spans" 3 (Tracer.span_count tr);
+  let outer = Tracer.get tr 0 and inner = Tracer.get tr 1 in
+  let next = Tracer.get tr 2 in
+  check_str "outer name" "outer" outer.Tracer.name;
+  check_int "outer is a root" (-1) outer.Tracer.parent;
+  check_int "inner's parent is outer" outer.Tracer.id inner.Tracer.parent;
+  check_int "same trace" outer.Tracer.trace inner.Tracer.trace;
+  Alcotest.(check bool)
+    "sibling root starts a fresh trace" true
+    (next.Tracer.trace <> outer.Tracer.trace);
+  Alcotest.(check (float 1e-9))
+    "outer duration" 3.0 (Tracer.duration_ms outer);
+  Alcotest.(check (float 1e-9)) "inner duration" 1.0 (Tracer.duration_ms inner)
+
+let test_disabled_tracing_is_a_noop () =
+  (* no tracer installed: with_span must run the thunk and record
+     nothing anywhere *)
+  Alcotest.(check bool) "off" false (Tracer.on ());
+  let r = Sim.exec (fun () -> Tracer.with_span "ghost" (fun () -> 41 + 1)) in
+  check_int "thunk ran" 42 r
+
+let test_span_survives_exception () =
+  let tr = Tracer.create () in
+  Tracer.install tr;
+  Fun.protect ~finally:Tracer.uninstall (fun () ->
+      Sim.exec (fun () ->
+          (try
+             Tracer.with_span "outer" (fun () ->
+                 Tracer.with_span "boom" (fun () -> failwith "x"))
+           with Failure _ -> ());
+          (* the pid binding must have been restored: a new root *)
+          Tracer.with_span "after" (fun () -> ())));
+  check_int "spans all finished" 3 (Tracer.span_count tr);
+  let after = Tracer.get tr 2 in
+  check_int "binding restored, new root" (-1) after.Tracer.parent
+
+(* ------------------------------------------------------------------ *)
+(* Stage classification and export validation *)
+
+let test_stage_classification () =
+  let is name st = Export.stage_of name = st in
+  Alcotest.(check bool) "rpc" true (is "rpc" Export.Transport);
+  Alcotest.(check bool) "dsm.fetch" true (is "dsm.fetch" Export.Fault);
+  Alcotest.(check bool) "serve.get" true (is "serve.get" Export.Fault);
+  Alcotest.(check bool) "2pc.commit" true (is "2pc.commit" Export.Commit);
+  Alcotest.(check bool) "serve.prepare" true (is "serve.prepare" Export.Commit);
+  Alcotest.(check bool) "txn.lock" true (is "txn.lock" Export.Commit);
+  Alcotest.(check bool) "request" true (is "request" Export.Other);
+  Alcotest.(check bool) "invoke" true (is "invoke" Export.Other)
+
+let test_json_parser () =
+  (match Export.parse {|{"a": [1, 2.5, "s\n", true, null], "b": {}}|} with
+  | Ok (Export.Obj fields) ->
+      check_int "two members" 2 (List.length fields);
+      (match List.assoc "a" fields with
+      | Export.Arr items -> check_int "array arity" 5 (List.length items)
+      | _ -> Alcotest.fail "a is not an array")
+  | Ok _ -> Alcotest.fail "not an object"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Export.parse "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed JSON");
+  (match Export.parse "{} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage")
+
+let test_validate_chrome_rejects () =
+  (match Export.validate_chrome {|{"traceEvents": []}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an empty trace");
+  match Export.validate_chrome {|{"no": "events"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a trace without traceEvents"
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_snapshot () =
+  let c = Sim.Stats.counter "hits" in
+  Sim.Stats.incr_by c 7;
+  let h = Sim.Stats.hist "lat" in
+  List.iter (Sim.Stats.hadd h) [ 1.0; 2.0; 3.0 ];
+  let r = Registry.create "node-0" in
+  Registry.register r "cache/hits" (Registry.Counter c);
+  Registry.register r "cache/lat" (Registry.Hist h);
+  let json = Registry.snapshot_json [ r ] in
+  (match Export.parse json with
+  | Ok (Export.Arr [ Export.Obj fields ]) ->
+      (match List.assoc "node" fields with
+      | Export.Str s -> check_str "label" "node-0" s
+      | _ -> Alcotest.fail "node is not a string")
+  | Ok _ -> Alcotest.fail "snapshot is not a one-object array"
+  | Error e -> Alcotest.failf "snapshot does not parse: %s" e);
+  Alcotest.(check (list (pair string int)))
+    "totals roll counters up"
+    [ ("cache/hits", 7) ]
+    (Registry.totals [ r ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: traced load cells *)
+
+let smoke = List.hd Experiments.Load.smoke_cells
+
+let test_tracing_does_not_perturb () =
+  (* acceptance: with tracing off the metrics are what they always
+     were — so a traced run must report the exact same simulated
+     numbers as an untraced run of the same cell and seed *)
+  let bare = Experiments.Load.run_cell ~seed:7 smoke in
+  let tr = Tracer.create () in
+  Tracer.install tr;
+  let traced =
+    Fun.protect ~finally:Tracer.uninstall (fun () ->
+        Experiments.Load.run_cell ~seed:7 smoke)
+  in
+  let open Experiments.Load in
+  check_int "completed" bare.completed traced.completed;
+  check_int "misses" bare.misses traced.misses;
+  check_int "retries" bare.retries traced.retries;
+  Alcotest.(check (float 0.0)) "p50 identical" bare.p50_ms traced.p50_ms;
+  Alcotest.(check (float 0.0)) "p95 identical" bare.p95_ms traced.p95_ms;
+  Alcotest.(check (float 0.0)) "p99 identical" bare.p99_ms traced.p99_ms;
+  Alcotest.(check (float 0.0)) "mean identical" bare.mean_ms traced.mean_ms;
+  Alcotest.(check (float 0.0)) "sim_ms identical" bare.sim_ms traced.sim_ms;
+  Alcotest.(check bool) "spans were recorded" true (Tracer.span_count tr > 0)
+
+let test_trace_determinism_mid_cell () =
+  (* same seed, same cell => byte-identical span tree (ids, parents,
+     names, timestamps) and registry snapshot across two runs *)
+  let r1 = Experiments.Trace_run.run () in
+  let r2 = Experiments.Trace_run.run () in
+  check_int "span count" (Tracer.span_count r1.Experiments.Trace_run.tracer)
+    (Tracer.span_count r2.Experiments.Trace_run.tracer);
+  check_str "chrome export identical" r1.Experiments.Trace_run.chrome
+    r2.Experiments.Trace_run.chrome;
+  check_str "registry snapshot identical"
+    r1.Experiments.Trace_run.registries_json
+    r2.Experiments.Trace_run.registries_json;
+  check_str "critical-path report identical" r1.Experiments.Trace_run.report
+    r2.Experiments.Trace_run.report;
+  (* and the export round-trips through our own validator *)
+  match Export.validate_chrome r1.Experiments.Trace_run.chrome with
+  | Ok events ->
+      check_int "one event per span" (Tracer.span_count r1.Experiments.Trace_run.tracer) events
+  | Error e -> Alcotest.failf "chrome export invalid: %s" e
+
+let test_summary_decomposes_p99 () =
+  let r = Experiments.Trace_run.run ~cell:smoke () in
+  let s = r.Experiments.Trace_run.summary in
+  check_int "every request became a trace" smoke.Experiments.Load.invocations
+    s.Export.traces;
+  match s.Export.p99 with
+  | None -> Alcotest.fail "no p99 trace"
+  | Some t ->
+      (* the stage breakdown is a cost decomposition, not a
+         wall-clock partition: concurrent fan-out children can sum
+         past the root duration, but every stage is non-negative and
+         the decomposition is non-trivial *)
+      let st = t.Export.st in
+      Alcotest.(check bool)
+        "stages non-negative" true
+        (st.Export.transport_ms >= 0.0
+        && st.Export.fault_ms >= 0.0
+        && st.Export.commit_ms >= 0.0
+        && st.Export.other_ms >= 0.0);
+      let parts =
+        st.Export.transport_ms +. st.Export.fault_ms +. st.Export.commit_ms
+        +. st.Export.other_ms
+      in
+      Alcotest.(check bool)
+        "decomposition is non-trivial" true
+        (parts > 0.0 && t.Export.total_ms > 0.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_tracing_is_a_noop;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_survives_exception;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "stage classification" `Quick
+            test_stage_classification;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+          Alcotest.test_case "chrome validation rejects" `Quick
+            test_validate_chrome_rejects;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "snapshot and totals" `Quick test_registry_snapshot ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "tracing does not perturb" `Quick
+            test_tracing_does_not_perturb;
+          Alcotest.test_case "mid-cell trace determinism" `Quick
+            test_trace_determinism_mid_cell;
+          Alcotest.test_case "p99 stage decomposition" `Quick
+            test_summary_decomposes_p99;
+        ] );
+    ]

@@ -753,6 +753,67 @@ let test_stats_empty_series () =
   Alcotest.(check (float 0.0)) "min" 0.0 (Stats.min_v s);
   Alcotest.(check (float 0.0)) "max" 0.0 (Stats.max_v s)
 
+let test_stats_empty_percentile () =
+  (* regression: percentile on an empty series used to index into a
+     zero-length array; it must return 0.0 like the other summaries *)
+  let s = Stats.series "empty" in
+  Alcotest.(check (float 0.0)) "p50 empty" 0.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 0.0)) "p0 empty" 0.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 0.0)) "p100 empty" 0.0 (Stats.percentile s 100.0);
+  Alcotest.check_raises "out of range still rejected"
+    (Invalid_argument "Stats.percentile: bad percentile") (fun () ->
+      ignore (Stats.percentile s 150.0))
+
+let test_hist_exact_aggregates () =
+  let h = Stats.hist "h" in
+  List.iter (Stats.hadd h) [ 4.0; 1.0; 3.0; 2.0 ];
+  check_int "n" 4 (Stats.hist_n h);
+  Alcotest.(check (float 1e-9)) "sum exact" 10.0 (Stats.hist_total h);
+  Alcotest.(check (float 1e-9)) "mean exact" 2.5 (Stats.hist_mean h);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Stats.hist_min h);
+  Alcotest.(check (float 1e-9)) "max exact" 4.0 (Stats.hist_max h);
+  (* p0/p100 clamp to the exact extrema, not bucket representatives *)
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.hist_percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.hist_percentile h 100.0);
+  (* empty histogram summarises to finite zeros like an empty series *)
+  let e = Stats.hist "e" in
+  check_int "empty n" 0 (Stats.hist_n e);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.hist_mean e);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Stats.hist_percentile e 99.0)
+
+let test_hist_accuracy_10k () =
+  (* the acceptance bound: at 10k samples of a long-tailed latency
+     shape, streaming percentiles stay within 1% relative error of
+     the exact sorted-array percentiles *)
+  let n = 10_000 in
+  let x = ref 123456789 in
+  let next () =
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let u = float_of_int !x /. float_of_int 0x40000000 in
+    (* inverse-CDF exponential, scaled into a ms-like range, plus a
+       floor so samples sit well inside the bucket range *)
+    0.05 +. (-.log (1.0 -. (u *. 0.9999)) *. 12.0)
+  in
+  let vals = Array.init n (fun _ -> next ()) in
+  let s = Stats.series "exact" in
+  let h = Stats.hist "stream" in
+  Array.iter
+    (fun v ->
+      Stats.add s v;
+      Stats.hadd h v)
+    vals;
+  List.iter
+    (fun p ->
+      let exact = Stats.percentile s p in
+      let approx = Stats.hist_percentile h p in
+      let rel = Float.abs (approx -. exact) /. exact in
+      if rel > 0.01 then
+        Alcotest.failf "p%.0f: hist %.6f vs exact %.6f (rel err %.4f > 1%%)" p
+          approx exact rel)
+    [ 50.0; 90.0; 95.0; 99.0; 99.9 ];
+  Alcotest.(check (float 1e-9))
+    "mean stays exact" (Stats.mean s) (Stats.hist_mean h)
+
 let test_stats_counter () =
   let c = Stats.counter "c" in
   Stats.incr c;
@@ -782,6 +843,38 @@ let test_trace_record () =
   check_int "disabled drops" 2 (Trace.count tr ());
   Trace.clear tr;
   check_int "cleared" 0 (Trace.count tr ())
+
+let test_trace_growable () =
+  (* the store is a growable array: recording far past the initial
+     capacity keeps every entry, in order *)
+  let tr = Trace.create () in
+  for i = 1 to 10_000 do
+    Trace.record tr (Time.us i) "e" (string_of_int i)
+  done;
+  check_int "all kept" 10_000 (Trace.count tr ());
+  let seen = ref 0 in
+  Trace.iter tr (fun e ->
+      incr seen;
+      if int_of_string e.Trace.detail <> !seen then
+        Alcotest.failf "entry %d out of order: %s" !seen e.Trace.detail);
+  check_int "iter visits all" 10_000 !seen
+
+let test_trace_capacity_ring () =
+  (* with [capacity] set the trace is a ring: only the most recent
+     [capacity] entries survive, still in chronological order *)
+  let tr = Trace.create ~capacity:100 () in
+  for i = 1 to 1000 do
+    Trace.record tr (Time.us i) "e" (string_of_int i)
+  done;
+  check_int "bounded" 100 (Trace.count tr ());
+  let ds = List.map (fun e -> int_of_string e.Trace.detail) (Trace.entries tr) in
+  Alcotest.(check int) "oldest kept entry" 901 (List.hd ds);
+  Alcotest.(check int) "newest entry" 1000 (List.nth ds 99);
+  Alcotest.(check (list int)) "chronological" (List.init 100 (fun i -> 901 + i)) ds;
+  Trace.clear tr;
+  check_int "clear resets" 0 (Trace.count tr ());
+  Trace.record tr (Time.us 1) "e" "after";
+  check_int "usable after clear" 1 (Trace.count tr ())
 
 (* ------------------------------------------------------------------ *)
 (* Fanout *)
@@ -996,10 +1089,21 @@ let () =
         [
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty series" `Quick test_stats_empty_series;
+          Alcotest.test_case "empty percentile" `Quick
+            test_stats_empty_percentile;
           Alcotest.test_case "counter" `Quick test_stats_counter;
           Alcotest.test_case "large series regression" `Quick
             test_stats_large_series_regression;
+          Alcotest.test_case "hist exact aggregates" `Quick
+            test_hist_exact_aggregates;
+          Alcotest.test_case "hist accuracy at 10k" `Quick
+            test_hist_accuracy_10k;
         ] );
       qsuite "stats-props" [ prop_stats_mean_bounds ];
-      ("trace", [ Alcotest.test_case "record" `Quick test_trace_record ]);
+      ( "trace",
+        [
+          Alcotest.test_case "record" `Quick test_trace_record;
+          Alcotest.test_case "growable" `Quick test_trace_growable;
+          Alcotest.test_case "capacity ring" `Quick test_trace_capacity_ring;
+        ] );
     ]
