@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments load-smoke obs-smoke bench-json bench-diff bench-baseline clean
+.PHONY: all build test check faults experiments load-smoke obs-smoke commit-smoke bench-json bench-diff bench-baseline clean
 
 all: build
 
@@ -31,6 +31,12 @@ load-smoke:
 obs-smoke:
 	dune exec bin/experiments_main.exe -- trace
 
+# Group-commit A/B smoke pair (force-per-record vs 5 ms window at 64
+# sessions) plus the kill-mid-commit recovery scenario; the full
+# clients x window x footprint grid is `experiments_main -- commit`.
+commit-smoke:
+	dune exec bin/experiments_main.exe -- --quick commit
+
 # Machine-readable benchmark baseline (wall-clock + simulated
 # metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.
 bench-json:
@@ -61,13 +67,22 @@ bench-diff:
 	  echo "(intentional? refresh with: make bench-baseline)"; \
 	  exit 1; \
 	fi
+	@if cmp -s bench/BENCH_commit_baseline.json BENCH_commit.json; then \
+	  echo "bench-diff: commit section matches the committed baseline"; \
+	else \
+	  echo "bench-diff: commit section DRIFTED from bench/BENCH_commit_baseline.json:"; \
+	  diff bench/BENCH_commit_baseline.json BENCH_commit.json | head -20; \
+	  echo "(intentional? refresh with: make bench-baseline)"; \
+	  exit 1; \
+	fi
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:
 	dune exec bench/main.exe -- --json --quick
 	cp BENCH_core.json bench/BENCH_baseline.json
 	cp BENCH_obs.json bench/BENCH_obs_baseline.json
-	@echo "updated bench/BENCH_baseline.json and bench/BENCH_obs_baseline.json -- commit them"
+	cp BENCH_commit.json bench/BENCH_commit_baseline.json
+	@echo "updated bench/BENCH_{baseline,obs_baseline,commit_baseline}.json -- commit them"
 
 clean:
 	dune clean

@@ -151,6 +151,60 @@ let obs_section () =
               r.Experiments.Trace_run.totals));
     ]
 
+(* The "commit" section: the A/B group-commit smoke pair plus the
+   deterministic kill-mid-commit recovery scenario.  Only
+   simulated-time metrics are emitted (the point's wall-clock field
+   is deliberately dropped), so the object is byte-stable across
+   hosts; like obs it is also written alone, to BENCH_commit.json,
+   for bench-diff's third baseline. *)
+let commit_section () =
+  let points = Experiments.Commit.run () in
+  let o = Experiments.Commit.run_crash () in
+  let pt (p : Experiments.Commit.point) =
+    let open Experiments.Commit in
+    j_obj
+      [
+        j_field "label" (j_str p.cell.label);
+        j_field "clients" (j_int p.cell.clients);
+        j_field "footprint" (j_int p.cell.footprint);
+        j_field "window_ms"
+          (match p.cell.window with
+          | None -> "null"
+          | Some w -> j_num (Sim.Time.to_ms_f w));
+        j_field "committed" (j_int p.committed);
+        j_field "retries" (j_int p.retries);
+        j_field "p50_ms" (j_num p.p50_ms);
+        j_field "p95_ms" (j_num p.p95_ms);
+        j_field "mean_ms" (j_num p.mean_ms);
+        j_field "throughput" (j_num p.throughput);
+        j_field "wal_records" (j_int p.wal_records);
+        j_field "wal_flushes" (j_int p.wal_flushes);
+        j_field "mean_batch" (j_num p.mean_batch);
+        j_field "sim_ms" (j_num p.sim_ms);
+      ]
+  in
+  let open Experiments.Commit in
+  j_obj
+    [
+      j_field "cells" (j_arr (List.map pt points));
+      j_field "crash"
+        (j_obj
+           [
+             j_field "seed" (j_int o.seed);
+             j_field "sessions" (j_int o.sessions);
+             j_field "deposits_per_session" (j_int o.deposits_per_session);
+             j_field "acked" (j_int o.acked);
+             j_field "crash_retries" (j_int o.crash_retries);
+             j_field "lost" (j_int o.lost);
+             j_field "ghosts" (j_int o.ghosts);
+             j_field "checkpoints" (j_int o.checkpoints);
+             j_field "log_truncated" (j_int o.log_truncated);
+             j_field "recovered_records" (j_int o.recovered_records);
+             j_field "violations" (j_arr (List.map j_str o.violations));
+             j_field "trace" (j_str o.trace);
+           ]);
+    ]
+
 let simulated_metrics ~quick =
   let t1 = Experiments.T1_kernel.run ~samples:(if quick then 20 else 100) () in
   let t2 = Experiments.T2_network.run ~samples:(if quick then 10 else 50) () in
@@ -199,6 +253,7 @@ let simulated_metrics ~quick =
       ()
   in
   let obs = obs_section () in
+  let commit = commit_section () in
   let simulated =
   let fanout_points ps =
     j_arr
@@ -405,6 +460,7 @@ let simulated_metrics ~quick =
                   ]);
            ]);
       j_field "obs" obs;
+      j_field "commit" commit;
       j_field "load"
         (j_obj
            [
@@ -437,10 +493,10 @@ let simulated_metrics ~quick =
            ]);
     ]
   in
-  (simulated, obs)
+  (simulated, obs, commit)
 
 let write_json ~quick path =
-  let simulated, obs = simulated_metrics ~quick in
+  let simulated, obs, commit = simulated_metrics ~quick in
   let wall =
     bechamel_estimates ~quota_s:(if quick then 0.5 else 2.0) ()
     |> List.map (fun (name, ms) ->
@@ -463,10 +519,13 @@ let write_json ~quick path =
     close_out oc
   in
   dump path doc;
-  (* the obs section alone, for bench-diff's second baseline: it has
-     no wall_clock suffix, so the comparison is a straight cmp *)
+  (* the obs and commit sections alone, for bench-diff's second and
+     third baselines: neither has a wall_clock suffix, so the
+     comparisons are straight cmps *)
   dump "BENCH_obs.json" obs;
-  Printf.printf "wrote %s and BENCH_obs.json (%s sizes)\n" path
+  dump "BENCH_commit.json" commit;
+  Printf.printf "wrote %s, BENCH_obs.json and BENCH_commit.json (%s sizes)\n"
+    path
     (if quick then "quick" else "full")
 
 let () =

@@ -21,6 +21,7 @@ let all_ids =
     "faults";
     "membership";
     "load";
+    "commit";
     "ablations";
   ]
 
@@ -95,6 +96,19 @@ let run_one ~quick id =
       List.iter
         (fun p -> Printf.printf "  %s\n" (Experiments.Load.summary p))
         points
+  | "commit" ->
+      let cells =
+        if quick then Experiments.Commit.smoke_cells
+        else Experiments.Commit.full_cells
+      in
+      let points = Experiments.Commit.run ~cells () in
+      print_string (Experiments.Commit.report points);
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Experiments.Commit.summary p))
+        points;
+      let o = Experiments.Commit.run_crash () in
+      print_string (Experiments.Commit.crash_report o);
+      Printf.printf "  %s\n" (Experiments.Commit.crash_summary o)
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
   | "trace" ->
       (* traced load cell: export the Chrome trace + registry

@@ -48,6 +48,7 @@ type t = {
   abort_count : Sim.Stats.counter;
   retry_count : Sim.Stats.counter;
   lock_rpc_count : Sim.Stats.counter;
+  commit_hist : Sim.Stats.hist;
 }
 
 let object_manager t = t.om
@@ -56,6 +57,7 @@ let commits t = Sim.Stats.value t.commit_count
 let aborts t = Sim.Stats.value t.abort_count
 let retries t = Sim.Stats.value t.retry_count
 let lock_rpcs t = Sim.Stats.value t.lock_rpc_count
+let commit_hist t = t.commit_hist
 
 let metrics t =
   [
@@ -63,6 +65,7 @@ let metrics t =
     ("atomicity/aborts", Obs.Registry.Counter t.abort_count);
     ("atomicity/retries", Obs.Registry.Counter t.retry_count);
     ("atomicity/lock_rpcs", Obs.Registry.Counter t.lock_rpc_count);
+    ("atomicity/commit_ms", Obs.Registry.Hist t.commit_hist);
   ]
 
 let local_table t node_id =
@@ -319,6 +322,7 @@ let mark_all_clean frames =
 
 let commit t st =
   if st.status <> Active then raise Txn_abort_signal;
+  let commit_start = Sim.now () in
   let grouped, frames = collect_writes t st in
   match st.scope with
   | Global ->
@@ -358,6 +362,8 @@ let commit t st =
                   (fun home -> (home, P.Commit { txn = st.txn }))
                   involved)));
       st.status <- Finished;
+      Sim.Stats.hadd_span t.commit_hist
+        (Sim.Time.diff (Sim.now ()) commit_start);
       Sim.Stats.incr t.commit_count
   | Local ->
       let msgs =
@@ -387,6 +393,8 @@ let commit t st =
           Dsm.Lock_table.release_txn (local_table t node.Ra.Node.id) st.txn)
         st.nodes;
       st.status <- Finished;
+      Sim.Stats.hadd_span t.commit_hist
+        (Sim.Time.diff (Sim.now ()) commit_start);
       Sim.Stats.incr t.commit_count
 
 (* --- the entry wrapper --------------------------------------------- *)
@@ -503,6 +511,7 @@ let install om ?(deadlock_timeout = Sim.Time.sec 5) ?(max_retries = 3)
       abort_count = Sim.Stats.counter "atomicity.aborts";
       retry_count = Sim.Stats.counter "atomicity.retries";
       lock_rpc_count = Sim.Stats.counter "atomicity.lock_rpcs";
+      commit_hist = Sim.Stats.hist "atomicity.commit_ms";
     }
   in
   Array.iter

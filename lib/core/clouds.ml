@@ -29,11 +29,13 @@ type system = {
   om : Object_manager.t;
 }
 
-let boot eng ?params ?ratp_config ?ether_config ?replication ~compute ~data
+let boot eng ?params ?ratp_config ?ether_config ?replication
+    ?group_commit_window ?wal_max_batch ?checkpoint_every ~compute ~data
     ~workstations () =
   let cluster =
-    Cluster.create eng ?params ?ratp_config ?ether_config ?replication ~compute
-      ~data ~workstations ()
+    Cluster.create eng ?params ?ratp_config ?ether_config ?replication
+      ?group_commit_window ?wal_max_batch ?checkpoint_every ~compute ~data
+      ~workstations ()
   in
   let om = Object_manager.create cluster in
   { cluster; om }

@@ -116,8 +116,8 @@ let volatile_partition =
   }
 
 let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
-    ?batch_io ?prefetch_window ?(replication = 1) ~compute ~data ~workstations
-    () =
+    ?batch_io ?prefetch_window ?(replication = 1) ?group_commit_window
+    ?wal_max_batch ?checkpoint_every ~compute ~data ~workstations () =
   if compute < 1 || data < 1 then
     invalid_arg "Cluster.create: need at least one compute and one data server";
   if replication < 1 then invalid_arg "Cluster.create: replication < 1";
@@ -133,7 +133,13 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
         Ra.Node.create ether ~id:(i + 1) ~kind:Ra.Node.Data ~params
           ?ratp_config ())
   in
-  let servers = Array.map (fun n -> Dsm.Dsm_server.create n ()) data_nodes in
+  let servers =
+    Array.map
+      (fun n ->
+        Dsm.Dsm_server.create n ?group_commit_window ?wal_max_batch
+          ?checkpoint_every ())
+      data_nodes
+  in
   let compute_nodes =
     Array.init compute (fun i ->
         Ra.Node.create ether ~id:(data + i + 1) ~kind:Ra.Node.Compute ~params

@@ -72,6 +72,9 @@ val create :
   ?batch_io:bool ->
   ?prefetch_window:int ->
   ?replication:int ->
+  ?group_commit_window:Sim.Time.span ->
+  ?wal_max_batch:int ->
+  ?checkpoint_every:Sim.Time.span ->
   compute:int ->
   data:int ->
   workstations:int ->
@@ -80,7 +83,11 @@ val create :
 (** Build and boot a cluster.  Requires at least one compute and one
     data server.  [batch_io] and [prefetch_window] are forwarded to
     every {!Dsm.Dsm_client.create} (batched segment flush; fault-ahead
-    window, default off).  [replication] (default 1) is the target
+    window); [group_commit_window], [wal_max_batch] and
+    [checkpoint_every] to every {!Dsm.Dsm_server.create} (batched WAL
+    flushes, pipelined commits and fuzzy checkpoints — default off,
+    keeping the historical force-per-record commit path).
+    [replication] (default 1) is the target
     number of data servers holding each segment: primaries forward
     committed writes to the backups, and the replicator re-creates
     lost copies when membership condemns a server. *)

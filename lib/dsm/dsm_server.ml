@@ -12,6 +12,14 @@ module Txn_table = Hashtbl.Make (struct
   let hash (t : t) = Hashtbl.hash (t.P.tnode, t.P.tseq)
 end)
 
+(* What a participant remembers about a prepared transaction: the
+   page images to apply at commit, and (under group commit) the
+   before-images recovery needs to undo a crash-window apply. *)
+type prep_entry = {
+  writes : P.write_set;
+  undo : (Ra.Sysname.t * int * bytes option) list;
+}
+
 type t = {
   node : Ra.Node.t;
   parallel_coherence : bool;
@@ -36,8 +44,13 @@ type t = {
   warmed : unit Ra.Sysname.Table.t;
       (* segments whose backing file has been read at least once; the
          first touch pays a disk read (cold buffer cache) *)
-  prepared : P.write_set Txn_table.t;
+  prepared : prep_entry Txn_table.t;
   presume_abort_after : Sim.Time.span;
+  checkpoint_every : Sim.Time.span option;
+  mutable cp_armed : bool;
+      (* checkpoints are activity-driven: the first prepare after a
+         quiet period arms a one-shot timer, so an idle server leaves
+         no perpetual event chain behind *)
   mutable oracle : (int * int) -> [ `Committed | `Aborted | `Pending | `Unknown ];
   served : Sim.Stats.counter;
   prefetched : Sim.Stats.counter;
@@ -281,12 +294,46 @@ let handle_get t ~src seg page mode window =
 
 let release_txn_everywhere t txn = Lock_table.release_txn t.locks txn
 
-let apply_writes t writes =
+let apply_writes ?lsn t writes =
   List.iter
     (fun (seg, page, data) ->
       if Store.Segment_store.exists t.store seg then
-        Store.Segment_store.write_page t.store seg page data)
+        Store.Segment_store.write_page ?lsn t.store seg page data)
     writes
+
+(* Cut a fuzzy checkpoint [checkpoint_every] after the first prepare
+   of a busy period: the in-doubt table is snapshotted and logged
+   without quiescing (commits keep enqueueing around it), and the log
+   before the checkpoint record is truncated once it is durable. *)
+let maybe_arm_checkpoint t =
+  match t.checkpoint_every with
+  | None -> ()
+  | Some every ->
+      if not t.cp_armed then begin
+        t.cp_armed <- true;
+        let eng = t.node.Ra.Node.eng in
+        Sim.Engine.at eng
+          (Sim.Time.add (Sim.Engine.now eng) every)
+          (fun () ->
+            t.cp_armed <- false;
+            if t.node.Ra.Node.alive then
+              ignore
+                (Ra.Node.spawn t.node "wal-checkpoint" (fun () ->
+                     let active =
+                       Txn_table.fold
+                         (fun txn e acc ->
+                           {
+                             Store.Wal.txn = (txn.P.tnode, txn.P.tseq);
+                             writes = e.writes;
+                             undo = e.undo;
+                           }
+                           :: acc)
+                         t.prepared []
+                       |> List.sort (fun a b ->
+                              compare a.Store.Wal.txn b.Store.Wal.txn)
+                     in
+                     ignore (Store.Wal.checkpoint t.wal ~active))))
+      end
 
 let handle_prepare t txn writes =
   let valid =
@@ -296,9 +343,35 @@ let handle_prepare t txn writes =
   in
   if not valid then P.Vote false
   else begin
+    maybe_arm_checkpoint t;
+    let undo =
+      (* before-images are only needed under group commit: without a
+         daemon the commit record is durable before any page is
+         applied, so there is no crash window to undo *)
+      if Store.Wal.group_commit t.wal then begin
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun (seg, page, _) ->
+            if Hashtbl.mem seen (seg, page) then None
+            else begin
+              Hashtbl.add seen (seg, page) ();
+              let before =
+                match Store.Segment_store.read_page t.store seg page with
+                | Ra.Partition.Data b -> Some (Store.Wal.trim_image b)
+                | Ra.Partition.Zeroed -> None
+              in
+              Some (seg, page, before)
+            end)
+          writes
+      end
+      else []
+    in
+    (* the vote leaves only after the prepare record is durable —
+       under group commit it rides the next group flush with every
+       other concurrently-preparing transaction *)
     Store.Wal.append t.wal
-      (Store.Wal.Prepared { txn = (txn.P.tnode, txn.P.tseq); writes });
-    Txn_table.replace t.prepared txn writes;
+      (Store.Wal.Prepared { txn = (txn.P.tnode, txn.P.tseq); writes; undo });
+    Txn_table.replace t.prepared txn { writes; undo };
     (* presumed abort: if the coordinator dies before deciding, the
        participant self-aborts after a timeout *)
     let eng = t.node.Ra.Node.eng in
@@ -319,16 +392,36 @@ let handle_prepare t txn writes =
   end
 
 let handle_commit t txn =
-  (match Txn_table.find_opt t.prepared txn with
-  | Some writes ->
+  match Txn_table.find_opt t.prepared txn with
+  | Some { writes; _ } when Store.Wal.group_commit t.wal ->
+      (* pipelined commit: the record goes into the log buffer, the
+         pages are applied (tagged with the commit LSN) and the locks
+         released — all in one scheduling quantum, so no request can
+         observe released locks with unapplied pages — and the reply,
+         which is the coordinator's ack, leaves only once the group
+         flush has made the record durable *)
+      let lsn =
+        Store.Wal.enqueue t.wal
+          (Store.Wal.Committed (txn.P.tnode, txn.P.tseq))
+      in
+      apply_writes t ~lsn writes;
+      Txn_table.remove t.prepared txn;
+      Sim.Stats.incr t.commit_count;
+      release_txn_everywhere t txn;
+      Store.Wal.wait_durable t.wal lsn;
+      mirror_writes t writes;
+      P.Txn_done
+  | Some { writes; _ } ->
       Store.Wal.append t.wal (Store.Wal.Committed (txn.P.tnode, txn.P.tseq));
       apply_writes t writes;
       mirror_writes t writes;
       Txn_table.remove t.prepared txn;
-      Sim.Stats.incr t.commit_count
-  | None -> ());
-  release_txn_everywhere t txn;
-  P.Txn_done
+      Sim.Stats.incr t.commit_count;
+      release_txn_everywhere t txn;
+      P.Txn_done
+  | None ->
+      release_txn_everywhere t txn;
+      P.Txn_done
 
 let handle_abort t txn =
   (match Txn_table.find_opt t.prepared txn with
@@ -459,10 +552,16 @@ let handle t ~src body =
   | _ -> P.Page_error
 
 let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
-    ?(parallel_coherence = true) () =
+    ?(parallel_coherence = true) ?group_commit_window ?(wal_max_batch = 64)
+    ?checkpoint_every () =
   let disk =
     Store.Disk.create ?config:disk_config
       (Printf.sprintf "disk-%d" node.Ra.Node.id)
+  in
+  let group_commit =
+    Option.map
+      (fun window -> { Store.Wal.window; max_batch = wal_max_batch })
+      group_commit_window
   in
   let t =
     {
@@ -471,7 +570,10 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       store =
         Store.Segment_store.create (Printf.sprintf "store-%d" node.Ra.Node.id);
       disk;
-      wal = Store.Wal.create disk;
+      wal =
+        Store.Wal.create ?group_commit
+          ~spawn:(fun name f -> ignore (Ra.Node.spawn node name f))
+          disk;
       directory = Store.Directory.create ();
       locks = Lock_table.create ();
       page_mutexes = Hashtbl.create 64;
@@ -481,6 +583,8 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       warmed = Ra.Sysname.Table.create 64;
       prepared = Txn_table.create 8;
       presume_abort_after;
+      checkpoint_every;
+      cp_armed = false;
       oracle = (fun _ -> `Unknown);
       served = Sim.Stats.counter "dsm.pages_served";
       prefetched = Sim.Stats.counter "dsm.pages_prefetched";
@@ -534,57 +638,48 @@ let recover t =
     | `Aborted | `Unknown -> `Abort
     | `Pending -> `Keep
   in
-  Store.Wal.recover t.wal t.store ~decide ~applied;
+  let in_doubt = Store.Wal.recover t.wal t.store ~decide ~applied in
   (* transactions kept in doubt go back into the prepared table so a
      late Commit/Abort from the coordinator still applies; a timer
      re-resolves them if the decision never arrives *)
-  let settled = Hashtbl.create 8 in
   List.iter
-    (fun r ->
-      match r with
-      | Store.Wal.Committed txn | Store.Wal.Aborted txn ->
-          Hashtbl.replace settled txn ()
-      | Store.Wal.Prepared _ -> ())
-    (Store.Wal.records t.wal);
-  List.iter
-    (fun r ->
-      match r with
-      | Store.Wal.Prepared { txn = tnode, tseq; writes }
-        when not (Hashtbl.mem settled (tnode, tseq)) ->
-          let txn = { P.tnode; tseq } in
-          Txn_table.replace t.prepared txn writes;
-          (* recovery locking: the in-doubt transaction's write locks
-             must be held again, or later transactions would read
-             state its pending commit will overwrite *)
-          List.iter
-            (fun (seg, _, _) ->
-              match Lock_table.acquire t.locks seg txn P.W with
-              | `Granted -> ()
-              | `Cancelled -> ())
-            (List.sort_uniq
-               (fun (a, _, _) (b, _, _) -> Ra.Sysname.compare a b)
-               writes);
-          let eng = t.node.Ra.Node.eng in
-          Sim.Engine.at eng
-            (Sim.Time.add (Sim.Engine.now eng) t.presume_abort_after)
-            (fun () ->
-              if Txn_table.mem t.prepared txn then begin
-                match t.oracle (tnode, tseq) with
-                | `Committed ->
-                    Store.Wal.append_nowait t.wal
-                      (Store.Wal.Committed (tnode, tseq));
-                    apply_writes t writes;
-                    Txn_table.remove t.prepared txn;
-                    release_txn_everywhere t txn
-                | `Aborted | `Unknown ->
-                    Store.Wal.append_nowait t.wal
-                      (Store.Wal.Aborted (tnode, tseq));
-                    Txn_table.remove t.prepared txn;
-                    release_txn_everywhere t txn
-                | `Pending -> ()
-              end)
-      | Store.Wal.Prepared _ | Store.Wal.Committed _ | Store.Wal.Aborted _ -> ())
-    (Store.Wal.records t.wal)
+    (fun (p : Store.Wal.prep) ->
+      let tnode, tseq = p.Store.Wal.txn in
+      let writes = p.Store.Wal.writes in
+      let txn = { P.tnode; tseq } in
+      Txn_table.replace t.prepared txn { writes; undo = p.Store.Wal.undo };
+      (* recovery locking: the in-doubt transaction's write locks
+         must be held again, or later transactions would read
+         state its pending commit will overwrite *)
+      List.iter
+        (fun (seg, _, _) ->
+          match Lock_table.acquire t.locks seg txn P.W with
+          | `Granted -> ()
+          | `Cancelled -> ())
+        (List.sort_uniq
+           (fun (a, _, _) (b, _, _) -> Ra.Sysname.compare a b)
+           writes);
+      let eng = t.node.Ra.Node.eng in
+      Sim.Engine.at eng
+        (Sim.Time.add (Sim.Engine.now eng) t.presume_abort_after)
+        (fun () ->
+          if Txn_table.mem t.prepared txn then begin
+            match t.oracle (tnode, tseq) with
+            | `Committed ->
+                let lsn =
+                  Store.Wal.enqueue t.wal (Store.Wal.Committed (tnode, tseq))
+                in
+                apply_writes t ~lsn writes;
+                Txn_table.remove t.prepared txn;
+                release_txn_everywhere t txn
+            | `Aborted | `Unknown ->
+                Store.Wal.append_nowait t.wal
+                  (Store.Wal.Aborted (tnode, tseq));
+                Txn_table.remove t.prepared txn;
+                release_txn_everywhere t txn
+            | `Pending -> ()
+          end))
+    in_doubt
 
 let owner_of t seg page =
   match Hashtbl.find_opt t.owners (seg, page) with
@@ -613,4 +708,14 @@ let metrics t =
     ("dsm/commits", Obs.Registry.Counter t.commit_count);
     ("dsm/aborts", Obs.Registry.Counter t.abort_count);
     ("dsm/mirrored_writes", Obs.Registry.Counter t.mirrored);
+    ("disk/ops", Obs.Registry.Counter (Store.Disk.ops_counter t.disk));
+    ("disk/bytes", Obs.Registry.Counter (Store.Disk.bytes_counter t.disk));
+    ("disk/busy_us", Obs.Registry.Counter (Store.Disk.busy_counter t.disk));
+    ("disk/queue_depth", Obs.Registry.Hist (Store.Disk.queue_hist t.disk));
+    ("wal/records", Obs.Registry.Counter (Store.Wal.records_counter t.wal));
+    ("wal/flushes", Obs.Registry.Counter (Store.Wal.flushes_counter t.wal));
+    ("wal/flush_batch", Obs.Registry.Hist (Store.Wal.batch_hist t.wal));
+    ( "wal/checkpoints",
+      Obs.Registry.Counter (Store.Wal.checkpoints_counter t.wal) );
+    ("wal/truncated", Obs.Registry.Counter (Store.Wal.truncated_counter t.wal));
   ]

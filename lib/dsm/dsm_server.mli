@@ -17,6 +17,9 @@ val create :
   ?disk_config:Store.Disk.config ->
   ?presume_abort_after:Sim.Time.span ->
   ?parallel_coherence:bool ->
+  ?group_commit_window:Sim.Time.span ->
+  ?wal_max_batch:int ->
+  ?checkpoint_every:Sim.Time.span ->
   unit ->
   t
 (** Install the DSM service on a data-server node.  State in
@@ -29,7 +32,22 @@ val create :
     regardless of copyset size; [false] keeps the historical one
     blocking RPC per member, for A/B latency experiments
     ({!Experiments.Write_fault_fanout}).  Both modes leave identical
-    owner/copyset state and identical counters. *)
+    owner/copyset state and identical counters.
+
+    [group_commit_window] turns on the WAL's group-commit daemon:
+    prepare votes and commit acks ride batched log flushes (at most
+    [window] of added latency, or sooner once [wal_max_batch] records
+    are buffered), the commit path pipelines — locks release at
+    commit-record-in-buffer, the ack waits for the flush — and
+    prepares capture before-images so recovery can undo a
+    crash-window apply.  Left unset (the default), every WAL record
+    is forced with its own synchronous disk write, the historical
+    behaviour.
+
+    [checkpoint_every] arms a fuzzy checkpoint that interval after
+    the first prepare of a busy period: the in-doubt transaction
+    table is logged without quiescing and the WAL is truncated up to
+    the checkpoint once it is durable. *)
 
 val node : t -> Ra.Node.t
 val store : t -> Store.Segment_store.t

@@ -24,4 +24,5 @@ module Write_fault_fanout = Write_fault_fanout
 module Page_batching = Page_batching
 module Transport = Transport
 module Load = Load
+module Commit = Commit_exp
 module Trace_run = Trace_run

@@ -1,11 +1,21 @@
 type t = {
   label : string;
   pages : (Ra.Sysname.t * int, bytes) Hashtbl.t;
+  lsns : (Ra.Sysname.t * int, int) Hashtbl.t;
+      (* page-LSN: the log sequence number of the commit record whose
+         write produced this page image; absent (0) for pages written
+         outside the commit path.  Recovery's redo pass uses it to
+         replay a committed write at most once. *)
   sizes : int Ra.Sysname.Table.t;
 }
 
 let create label =
-  { label; pages = Hashtbl.create 256; sizes = Ra.Sysname.Table.create 32 }
+  {
+    label;
+    pages = Hashtbl.create 256;
+    lsns = Hashtbl.create 256;
+    sizes = Ra.Sysname.Table.create 32;
+  }
 
 let create_segment t seg ~size =
   if Ra.Sysname.Table.mem t.sizes seg then
@@ -21,7 +31,11 @@ let delete_segment t seg =
         if Ra.Sysname.equal s seg then (s, p) :: acc else acc)
       t.pages []
   in
-  List.iter (Hashtbl.remove t.pages) keys
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.pages k;
+      Hashtbl.remove t.lsns k)
+    keys
 
 let exists t seg = Ra.Sysname.Table.mem t.sizes seg
 
@@ -36,9 +50,19 @@ let read_page t seg page =
   | Some data -> Ra.Partition.Data (Ra.Page.copy data)
   | None -> Ra.Partition.Zeroed
 
-let write_page t seg page data =
+let write_page ?lsn t seg page data =
   if not (exists t seg) then raise (Ra.Partition.No_segment seg);
-  Hashtbl.replace t.pages (seg, page) (Ra.Page.copy data)
+  Hashtbl.replace t.pages (seg, page) (Ra.Page.copy data);
+  match lsn with
+  | Some l -> Hashtbl.replace t.lsns (seg, page) l
+  | None -> ()
+
+let clear_page t seg page =
+  Hashtbl.remove t.pages (seg, page);
+  Hashtbl.remove t.lsns (seg, page)
+
+let page_lsn t seg page =
+  match Hashtbl.find_opt t.lsns (seg, page) with Some l -> l | None -> 0
 
 let segments t =
   Ra.Sysname.Table.fold (fun seg _ acc -> seg :: acc) t.sizes []

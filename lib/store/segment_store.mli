@@ -23,7 +23,21 @@ val size : t -> Ra.Sysname.t -> int
 val read_page : t -> Ra.Sysname.t -> int -> Ra.Partition.fetch_data
 (** Raises {!Ra.Partition.No_segment} if the segment is absent. *)
 
-val write_page : t -> Ra.Sysname.t -> int -> bytes -> unit
+val write_page : ?lsn:int -> t -> Ra.Sysname.t -> int -> bytes -> unit
+(** [write_page ?lsn t seg page data] installs a page image.  [lsn]
+    tags the page with the commit record that produced it (the
+    page-LSN recovery redo is guarded by); omitted, the existing tag
+    is left in place — an unlogged write over a committed page must
+    not look older than the commit it replaced, or recovery redo
+    would clobber it. *)
+
+val clear_page : t -> Ra.Sysname.t -> int -> unit
+(** Forget a page: it reads back as {!Ra.Partition.Zeroed} again.
+    Recovery undo uses it when a crash-window write landed on a page
+    that had never been written. *)
+
+val page_lsn : t -> Ra.Sysname.t -> int -> int
+(** The page's tag; 0 for pages never written by the commit path. *)
 
 val segments : t -> Ra.Sysname.t list
 

@@ -14,7 +14,7 @@ let seg_gen = Ra.Sysname.make_gen ~node:0
 let test_disk_timing () =
   let elapsed =
     Sim.exec (fun () ->
-        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2; rot = Time.ms 4 } in
         let d = Store.Disk.create ~config:cfg "d" in
         let t0 = Sim.now () in
         Store.Disk.write d ~bytes:8192;
@@ -25,7 +25,7 @@ let test_disk_timing () =
 let test_disk_serializes () =
   let elapsed =
     Sim.exec (fun () ->
-        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2; rot = Time.ms 4 } in
         let d = Store.Disk.create ~config:cfg "d" in
         let done_ = Semaphore.create 0 in
         for _ = 1 to 2 do
@@ -40,6 +40,30 @@ let test_disk_serializes () =
   in
   check_int "two writes serialize" (Time.ms 24) elapsed;
   ()
+
+let test_disk_append_tail () =
+  Sim.exec (fun () ->
+      let cfg =
+        { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2; rot = Time.ms 4 }
+      in
+      let d = Store.Disk.create ~config:cfg "d" in
+      let time f =
+        let t0 = Sim.now () in
+        f ();
+        Time.diff (Sim.now ()) t0
+      in
+      (* cold head: the first append pays a full seek to the log zone *)
+      check_int "first append seeks" (Time.ms 12)
+        (time (fun () -> Store.Disk.append d ~bytes:8192));
+      (* head parked at the tail: the next append pays rotation only *)
+      check_int "tail append skips the seek" (Time.ms 6)
+        (time (fun () -> Store.Disk.append d ~bytes:8192));
+      (* any read/write moves the head away again *)
+      check_int "write seeks" (Time.ms 12)
+        (time (fun () -> Store.Disk.write d ~bytes:8192));
+      check_int "append after write seeks" (Time.ms 12)
+        (time (fun () -> Store.Disk.append d ~bytes:8192));
+      check_int "ops counted" 4 (Store.Disk.ops d))
 
 (* ------------------------------------------------------------------ *)
 (* Segment store *)
@@ -111,13 +135,17 @@ let test_wal_recover_committed () =
       let seg = Ra.Sysname.fresh seg_gen in
       Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
       Store.Wal.append wal
-        (Store.Wal.Prepared { txn = (1, 1); writes = [ (seg, 0, page_of_char 'a') ] });
+        (Store.Wal.Prepared
+           { txn = (1, 1); writes = [ (seg, 0, page_of_char 'a') ]; undo = [] });
       Store.Wal.append wal (Store.Wal.Committed (1, 1));
       (* an undecided transaction, must be presumed aborted *)
       Store.Wal.append wal
-        (Store.Wal.Prepared { txn = (1, 2); writes = [ (seg, 0, page_of_char 'b') ] });
+        (Store.Wal.Prepared
+           { txn = (1, 2); writes = [ (seg, 0, page_of_char 'b') ]; undo = [] });
       let applied = ref [] in
-      Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied;
+      let (_ : Store.Wal.prep list) =
+        Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied
+      in
       Alcotest.(check (list (pair int int))) "applied" [ (1, 1) ] !applied;
       (match Store.Segment_store.read_page s seg 0 with
       | Ra.Partition.Data d -> check_bool "committed applied" true (Bytes.get d 0 = 'a')
@@ -133,7 +161,7 @@ let test_wal_recover_committed () =
 let test_wal_costs_disk_time () =
   let elapsed =
     Sim.exec (fun () ->
-        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2 } in
+        let cfg = { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2; rot = Time.ms 4 } in
         let disk = Store.Disk.create ~config:cfg "d" in
         let wal = Store.Wal.create disk in
         let t0 = Sim.now () in
@@ -149,6 +177,147 @@ let test_wal_truncate () =
       Store.Wal.append wal (Store.Wal.Committed (1, 1));
       Store.Wal.truncate wal;
       check_int "empty" 0 (List.length (Store.Wal.records wal)))
+
+let test_wal_recover_twice_applies_once () =
+  Sim.exec (fun () ->
+      let disk = Store.Disk.create "d" in
+      let wal = Store.Wal.create disk in
+      let s = Store.Segment_store.create "s" in
+      let seg = Ra.Sysname.fresh seg_gen in
+      Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+      Store.Wal.append wal
+        (Store.Wal.Prepared
+           { txn = (1, 1); writes = [ (seg, 0, page_of_char 'a') ]; undo = [] });
+      Store.Wal.append wal (Store.Wal.Committed (1, 1));
+      let applied = ref [] in
+      let (_ : Store.Wal.prep list) =
+        Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied
+      in
+      Alcotest.(check (list (pair int int))) "first replay" [ (1, 1) ] !applied;
+      (* the page now carries the commit's LSN, so a second replay of
+         the same log must not apply (or count) anything *)
+      let applied = ref [] in
+      let (_ : Store.Wal.prep list) =
+        Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied
+      in
+      Alcotest.(check (list (pair int int))) "second replay idle" [] !applied)
+
+let test_wal_keep_in_doubt () =
+  Sim.exec (fun () ->
+      let disk = Store.Disk.create "d" in
+      let wal = Store.Wal.create disk in
+      let s = Store.Segment_store.create "s" in
+      let seg = Ra.Sysname.fresh seg_gen in
+      Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+      Store.Wal.append wal
+        (Store.Wal.Prepared
+           { txn = (2, 7); writes = [ (seg, 0, page_of_char 'k') ]; undo = [] });
+      let applied = ref [] in
+      let in_doubt =
+        Store.Wal.recover wal s ~decide:(fun _ -> `Keep) ~applied
+      in
+      (* [`Keep]: the coordinator is alive but undecided, so the
+         participant keeps its promise — nothing applied, nothing
+         aborted, and the prepare comes back for re-installation *)
+      Alcotest.(check (list (pair int int))) "nothing applied" [] !applied;
+      (match in_doubt with
+      | [ p ] ->
+          check_bool "prepare survives" true (p.Store.Wal.txn = (2, 7))
+      | l -> Alcotest.failf "expected one in-doubt prep, got %d" (List.length l));
+      (match Store.Segment_store.read_page s seg 0 with
+      | Ra.Partition.Zeroed -> ()
+      | Ra.Partition.Data _ -> Alcotest.fail "in-doubt write leaked");
+      check_bool "no abort marker" true
+        (not
+           (List.exists
+              (function Store.Wal.Aborted (2, 7) -> true | _ -> false)
+              (Store.Wal.records wal))))
+
+let test_wal_group_commit_batches () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let cfg =
+        { Store.Disk.seek = Time.ms 10; transfer_per_8k = Time.ms 2; rot = Time.ms 4 }
+      in
+      let disk = Store.Disk.create ~config:cfg "d" in
+      let wal =
+        Store.Wal.create
+          ~group_commit:{ Store.Wal.window = Time.ms 2; max_batch = 64 }
+          ~spawn:(fun name f -> ignore (Sim.Engine.spawn eng name f))
+          disk
+      in
+      let done_ = Semaphore.create 0 in
+      for i = 1 to 4 do
+        ignore
+          (Sim.spawn "committer" (fun () ->
+               Store.Wal.append wal (Store.Wal.Committed (1, i));
+               Semaphore.release done_))
+      done;
+      for _ = 1 to 4 do
+        Semaphore.acquire done_
+      done;
+      (* four concurrent appends ride one group flush: a single disk
+         positioning delay, all four records durable *)
+      check_int "one flush" 1 (Store.Wal.flushes wal);
+      check_int "one disk op" 1 (Store.Disk.ops disk);
+      check_int "all durable" 4 (Store.Wal.flushed_lsn wal))
+
+let test_wal_undo_crash_window () =
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let disk = Store.Disk.create "d" in
+      let wal =
+        Store.Wal.create
+          ~group_commit:{ Store.Wal.window = Time.ms 5; max_batch = 64 }
+          ~spawn:(fun name f -> ignore (Sim.Engine.spawn eng name f))
+          disk
+      in
+      let s = Store.Segment_store.create "s" in
+      let seg = Ra.Sysname.fresh seg_gen in
+      Store.Segment_store.create_segment s seg ~size:Ra.Page.size;
+      (* the before-image is sparse: logged trimmed, restored padded *)
+      let before = Bytes.make Ra.Page.size '\000' in
+      Bytes.blit_string "old" 0 before 0 3;
+      Store.Segment_store.write_page s seg 0 before;
+      Store.Wal.append wal
+        (Store.Wal.Prepared
+           {
+             txn = (1, 1);
+             writes = [ (seg, 0, page_of_char 'n') ];
+             undo = [ (seg, 0, Some (Store.Wal.trim_image before)) ];
+           });
+      (* pipelined commit: record in the buffer, page applied, locks
+         released — then the crash beats the flush *)
+      let lsn = Store.Wal.enqueue wal (Store.Wal.Committed (1, 1)) in
+      Store.Segment_store.write_page s seg 0 (page_of_char 'n') ~lsn;
+      let applied = ref [] in
+      let (_ : Store.Wal.prep list) =
+        Store.Wal.recover wal s ~decide:(fun _ -> `Abort) ~applied
+      in
+      (* the commit record was volatile, the coordinator says abort:
+         the crash-window apply must be undone from the before-image *)
+      Alcotest.(check (list (pair int int))) "nothing redone" [] !applied;
+      (match Store.Segment_store.read_page s seg 0 with
+      | Ra.Partition.Data d ->
+          check_int "full page restored" Ra.Page.size (Bytes.length d);
+          check_bool "before-image back" true
+            (Bytes.sub_string d 0 3 = "old" && Bytes.get d 3 = '\000')
+      | Ra.Partition.Zeroed -> Alcotest.fail "page lost");
+      check_bool "abort logged" true
+        (List.exists
+           (function Store.Wal.Aborted (1, 1) -> true | _ -> false)
+           (Store.Wal.records wal)))
+
+let test_wal_trim_image () =
+  let sparse = Bytes.make Ra.Page.size '\000' in
+  Bytes.blit_string "payload" 0 sparse 0 7;
+  check_int "sparse page trims to its payload" 7
+    (Bytes.length (Store.Wal.trim_image sparse));
+  check_int "all-zero page trims to nothing" 0
+    (Bytes.length (Store.Wal.trim_image (Bytes.make Ra.Page.size '\000')));
+  let full = Bytes.make Ra.Page.size 'x' in
+  check_int "dense page keeps every byte" Ra.Page.size
+    (Bytes.length (Store.Wal.trim_image full))
 
 (* ------------------------------------------------------------------ *)
 (* Directory *)
@@ -182,6 +351,8 @@ let () =
         [
           Alcotest.test_case "timing" `Quick test_disk_timing;
           Alcotest.test_case "serializes" `Quick test_disk_serializes;
+          Alcotest.test_case "append tracks the log tail" `Quick
+            test_disk_append_tail;
         ] );
       ( "segments",
         [
@@ -196,6 +367,15 @@ let () =
           Alcotest.test_case "append costs disk time" `Quick
             test_wal_costs_disk_time;
           Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          Alcotest.test_case "replay is idempotent" `Quick
+            test_wal_recover_twice_applies_once;
+          Alcotest.test_case "keep leaves in doubt" `Quick
+            test_wal_keep_in_doubt;
+          Alcotest.test_case "group commit batches" `Quick
+            test_wal_group_commit_batches;
+          Alcotest.test_case "crash-window undo" `Quick
+            test_wal_undo_crash_window;
+          Alcotest.test_case "before-image trim" `Quick test_wal_trim_image;
         ] );
       ("directory", [ Alcotest.test_case "crud" `Quick test_directory ]);
     ]
