@@ -1,4 +1,4 @@
-.PHONY: all build test check faults experiments load-smoke obs-smoke commit-smoke bench-json bench-diff bench-baseline clean
+.PHONY: all build test check faults experiments load-smoke obs-smoke commit-smoke consistency-smoke bench-json bench-diff bench-baseline clean
 
 all: build
 
@@ -36,6 +36,12 @@ obs-smoke:
 # clients x window x footprint grid is `experiments_main -- commit`.
 commit-smoke:
 	dune exec bin/experiments_main.exe -- --quick commit
+
+# Relaxed-consistency A/B smoke grid (one-copy vs release vs
+# commutative at reduced sizes); the full grid is
+# `experiments_main -- consistency`.
+consistency-smoke:
+	dune exec bin/experiments_main.exe -- --quick consistency
 
 # Machine-readable benchmark baseline (wall-clock + simulated
 # metrics); BENCH_QUICK=1 selects the reduced sizes CI uses.
@@ -75,6 +81,14 @@ bench-diff:
 	  echo "(intentional? refresh with: make bench-baseline)"; \
 	  exit 1; \
 	fi
+	@if cmp -s bench/BENCH_consistency_baseline.json BENCH_consistency.json; then \
+	  echo "bench-diff: consistency section matches the committed baseline"; \
+	else \
+	  echo "bench-diff: consistency section DRIFTED from bench/BENCH_consistency_baseline.json:"; \
+	  diff bench/BENCH_consistency_baseline.json BENCH_consistency.json | head -20; \
+	  echo "(intentional? refresh with: make bench-baseline)"; \
+	  exit 1; \
+	fi
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:
@@ -82,7 +96,8 @@ bench-baseline:
 	cp BENCH_core.json bench/BENCH_baseline.json
 	cp BENCH_obs.json bench/BENCH_obs_baseline.json
 	cp BENCH_commit.json bench/BENCH_commit_baseline.json
-	@echo "updated bench/BENCH_{baseline,obs_baseline,commit_baseline}.json -- commit them"
+	cp BENCH_consistency.json bench/BENCH_consistency_baseline.json
+	@echo "updated bench/BENCH_{baseline,obs_baseline,commit_baseline,consistency_baseline}.json -- commit them"
 
 clean:
 	dune clean

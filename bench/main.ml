@@ -33,6 +33,8 @@ let reproduction_tables () =
   print_newline ();
   print_string (Experiments.F3_pet.report (Experiments.F3_pet.run ~trials:25 ()));
   print_newline ();
+  print_string (Experiments.Consistency.report (Experiments.Consistency.run ()));
+  print_newline ();
   print_string (Experiments.Ablations.report ());
   print_newline ()
 
@@ -61,6 +63,11 @@ let bechamel_tests =
       Test.make ~name:"F3-pet"
         (Staged.stage (fun () ->
              ignore (Experiments.F3_pet.run ~trials:3 ())));
+      Test.make ~name:"Consistency"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.Consistency.run ~copysets:[ 2 ] ~increments:8
+                  ~elements:1024 ~workers:2 ())));
     ]
 
 (* Wall-clock ms/run for every table/figure, sorted by name so the
@@ -205,6 +212,71 @@ let commit_section () =
            ]);
     ]
 
+(* The "consistency" section: the relaxed-mode A/B grid of DESIGN
+   §17 — scoped invalidation counts (one-copy vs release), shared
+   counters (one-copy vs commutative) and the F1 sort under both
+   arbitrated modes.  Pure fixed-seed simulated metrics, so the
+   object is byte-stable across hosts; like obs and commit it is
+   also written alone, to BENCH_consistency.json, for bench-diff's
+   fourth baseline. *)
+let consistency_section ~quick () =
+  let r =
+    Experiments.Consistency.run
+      ~copysets:(if quick then [ 2; 4 ] else [ 1; 2; 4; 8 ])
+      ~increments:(if quick then 16 else 32)
+      ~elements:(if quick then 2_048 else 4_096)
+      ()
+  in
+  let open Experiments.Consistency in
+  j_obj
+    [
+      j_field "scoped"
+        (j_arr
+           (List.map
+              (fun (p : scoped_point) ->
+                j_obj
+                  [
+                    j_field "mode" (j_str p.mode);
+                    j_field "copyset" (j_int p.copyset);
+                    j_field "writes" (j_int p.writes);
+                    j_field "inval_rpcs" (j_int p.inval_rpcs);
+                    j_field "deferred" (j_int p.deferred);
+                    j_field "page_moves" (j_int p.page_moves);
+                    j_field "elapsed_ms" (j_num p.elapsed_ms);
+                  ])
+              r.scoped));
+      j_field "counters"
+        (j_arr
+           (List.map
+              (fun (p : counter_point) ->
+                j_obj
+                  [
+                    j_field "mode" (j_str p.mode);
+                    j_field "clients" (j_int p.clients);
+                    j_field "increments" (j_int p.increments);
+                    j_field "stalls" (j_int p.stalls);
+                    j_field "page_moves" (j_int p.page_moves);
+                    j_field "merge_rpcs" (j_int p.merge_rpcs);
+                    j_field "converged" (string_of_bool p.converged);
+                    j_field "elapsed_ms" (j_num p.elapsed_ms);
+                  ])
+              r.counters));
+      j_field "sort"
+        (j_arr
+           (List.map
+              (fun (p : sort_point) ->
+                j_obj
+                  [
+                    j_field "mode" (j_str p.mode);
+                    j_field "workers" (j_int p.workers);
+                    j_field "total_ms" (j_num p.total_ms);
+                    j_field "page_moves" (j_int p.page_moves);
+                    j_field "inval_rpcs" (j_int p.inval_rpcs);
+                  ])
+              r.sort));
+      j_field "inval_reduction_at_2" (j_num (inval_reduction r ~copyset:2));
+    ]
+
 let simulated_metrics ~quick =
   let t1 = Experiments.T1_kernel.run ~samples:(if quick then 20 else 100) () in
   let t2 = Experiments.T2_network.run ~samples:(if quick then 10 else 50) () in
@@ -254,6 +326,7 @@ let simulated_metrics ~quick =
   in
   let obs = obs_section () in
   let commit = commit_section () in
+  let consistency = consistency_section ~quick () in
   let simulated =
   let fanout_points ps =
     j_arr
@@ -461,6 +534,7 @@ let simulated_metrics ~quick =
            ]);
       j_field "obs" obs;
       j_field "commit" commit;
+      j_field "consistency" consistency;
       j_field "load"
         (j_obj
            [
@@ -493,10 +567,10 @@ let simulated_metrics ~quick =
            ]);
     ]
   in
-  (simulated, obs, commit)
+  (simulated, obs, commit, consistency)
 
 let write_json ~quick path =
-  let simulated, obs, commit = simulated_metrics ~quick in
+  let simulated, obs, commit, consistency = simulated_metrics ~quick in
   let wall =
     bechamel_estimates ~quota_s:(if quick then 0.5 else 2.0) ()
     |> List.map (fun (name, ms) ->
@@ -519,12 +593,15 @@ let write_json ~quick path =
     close_out oc
   in
   dump path doc;
-  (* the obs and commit sections alone, for bench-diff's second and
-     third baselines: neither has a wall_clock suffix, so the
-     comparisons are straight cmps *)
+  (* the obs, commit and consistency sections alone, for bench-diff's
+     second through fourth baselines: none has a wall_clock suffix,
+     so the comparisons are straight cmps *)
   dump "BENCH_obs.json" obs;
   dump "BENCH_commit.json" commit;
-  Printf.printf "wrote %s, BENCH_obs.json and BENCH_commit.json (%s sizes)\n"
+  dump "BENCH_consistency.json" consistency;
+  Printf.printf
+    "wrote %s, BENCH_obs.json, BENCH_commit.json and BENCH_consistency.json \
+     (%s sizes)\n"
     path
     (if quick then "quick" else "full")
 

@@ -22,6 +22,7 @@ let all_ids =
     "membership";
     "load";
     "commit";
+    "consistency";
     "ablations";
   ]
 
@@ -109,6 +110,21 @@ let run_one ~quick id =
       let o = Experiments.Commit.run_crash () in
       print_string (Experiments.Commit.crash_report o);
       Printf.printf "  %s\n" (Experiments.Commit.crash_summary o)
+  | "consistency" | "cons" ->
+      let copysets = if quick then [ 2; 4 ] else [ 1; 2; 4; 8 ] in
+      let elements = if quick then 2_048 else 4_096 in
+      let increments = if quick then 16 else 32 in
+      let r =
+        Experiments.Consistency.run ~copysets ~elements ~increments ()
+      in
+      print_string (Experiments.Consistency.report r);
+      List.iter
+        (fun k ->
+          Printf.printf
+            "  release cuts invalidation RPCs %.1fx at copyset %d\n"
+            (Experiments.Consistency.inval_reduction r ~copyset:k)
+            k)
+        copysets
   | "ablations" | "ab" -> print_string (Experiments.Ablations.report ())
   | "trace" ->
       (* traced load cell: export the Chrome trace + registry

@@ -25,7 +25,7 @@ let () =
       let base = ref 0.0 in
       List.iter
         (fun workers ->
-          let obj = Apps.Sorter.create sys.om ~capacity:elements in
+          let obj = Apps.Sorter.create sys.om ~capacity:elements () in
           Apps.Sorter.fill sys.om ~obj ~n:elements ~seed:42;
           let sum = Apps.Sorter.checksum sys.om ~obj in
           let run = Apps.Sorter.distributed_sort sys.om ~obj ~workers in

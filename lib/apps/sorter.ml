@@ -135,9 +135,9 @@ let register om ~capacity =
   end;
   name
 
-let create om ~capacity =
+let create om ?consistency ~capacity () =
   let name = register om ~capacity in
-  Clouds.Object_manager.create_object om ~class_name:name V.Unit
+  Clouds.Object_manager.create_object om ?consistency ~class_name:name V.Unit
 
 let invoke0 om obj entry arg =
   let cl = Clouds.Object_manager.cluster om in

@@ -13,8 +13,16 @@ val register : Clouds.Object_manager.t -> capacity:int -> string
 (** Register (once) a sorter class sized for [capacity] elements and
     return its class name. *)
 
-val create : Clouds.Object_manager.t -> capacity:int -> Ra.Sysname.t
-(** Create a sorter instance (registering the class as needed). *)
+val create :
+  Clouds.Object_manager.t ->
+  ?consistency:Ra.Partition.consistency ->
+  capacity:int ->
+  unit ->
+  Ra.Sysname.t
+(** Create a sorter instance (registering the class as needed).
+    [consistency] sets the coherence mode of the instance's data and
+    heap segments (default: the cluster's default, normally
+    [One_copy]). *)
 
 val fill :
   Clouds.Object_manager.t -> obj:Ra.Sysname.t -> n:int -> seed:int -> unit

@@ -21,6 +21,10 @@ type state = {
   mutable locks : (Ra.Sysname.t * P.lock_kind) list;
   mutable lock_servers : Net.Address.t list;
   mutable write_segs : Ra.Sysname.t list;
+  mutable merge_segs : (Ra.Node.t * Ra.Sysname.t) list;
+      (* commutative segments written under this transaction: never
+         locked, never in the 2PC write set — their deltas are merged
+         at the home when the transaction commits *)
   mutable nodes : Ra.Node.t list;
   mutable rolled : bool;
 }
@@ -268,15 +272,30 @@ let hook t node seg _page mode =
       if st.status <> Active then raise Txn_abort_signal;
       if Cl.is_volatile t.cl node seg || is_code t seg then ()
       else begin
-        if not (List.memq node st.nodes) then st.nodes <- node :: st.nodes;
-        let kind =
-          match mode with Ra.Partition.Read -> P.R | Ra.Partition.Write -> P.W
-        in
-        if
-          kind = P.W
-          && not (List.exists (Ra.Sysname.equal seg) st.write_segs)
-        then st.write_segs <- seg :: st.write_segs;
-        ensure_lock t st node seg kind
+        match Cl.consistency_of t.cl seg with
+        | Ra.Partition.Commutative _ ->
+            (* arbitration-free: no locks, no 2PC write set; the
+               deltas merge at the home when the transaction commits
+               (and survive an abort — merges are not undoable) *)
+            if
+              mode = Ra.Partition.Write
+              && not
+                   (List.exists
+                      (fun (n, s) -> n == node && Ra.Sysname.equal s seg)
+                      st.merge_segs)
+            then st.merge_segs <- (node, seg) :: st.merge_segs
+        | Ra.Partition.One_copy | Ra.Partition.Release ->
+            if not (List.memq node st.nodes) then st.nodes <- node :: st.nodes;
+            let kind =
+              match mode with
+              | Ra.Partition.Read -> P.R
+              | Ra.Partition.Write -> P.W
+            in
+            if
+              kind = P.W
+              && not (List.exists (Ra.Sysname.equal seg) st.write_segs)
+            then st.write_segs <- seg :: st.write_segs;
+            ensure_lock t st node seg kind
       end
 
 (* --- commit -------------------------------------------------------- *)
@@ -320,6 +339,17 @@ let mark_all_clean frames =
     (fun (node, seg, page) -> Ra.Mmu.mark_clean node.Ra.Node.mmu seg page)
     frames
 
+(* Commutative segments ride outside the 2PC write set: their dirty
+   pages become merge deltas shipped by the owning node's DSM client
+   at the commit point. *)
+let flush_merges t st =
+  List.iter
+    (fun (node, seg) ->
+      match Cl.client_of t.cl node.Ra.Node.id with
+      | Some client -> Dsm.Dsm_client.flush_segment client seg
+      | None -> ())
+    (List.rev st.merge_segs)
+
 let commit t st =
   if st.status <> Active then raise Txn_abort_signal;
   let commit_start = Sim.now () in
@@ -361,6 +391,7 @@ let commit t st =
                (List.map
                   (fun home -> (home, P.Commit { txn = st.txn }))
                   involved)));
+      flush_merges t st;
       st.status <- Finished;
       Sim.Stats.hadd_span t.commit_hist
         (Sim.Time.diff (Sim.now ()) commit_start);
@@ -392,6 +423,7 @@ let commit t st =
         (fun node ->
           Dsm.Lock_table.release_txn (local_table t node.Ra.Node.id) st.txn)
         st.nodes;
+      flush_merges t st;
       st.status <- Finished;
       Sim.Stats.hadd_span t.commit_hist
         (Sim.Time.diff (Sim.now ()) commit_start);
@@ -427,6 +459,7 @@ let run_txn t scope (ctx : Clouds.Ctx.t) body =
         locks = [];
         lock_servers = [];
         write_segs = [];
+        merge_segs = [];
         nodes = [ ctx.Clouds.Ctx.node ];
         rolled = false;
       }

@@ -12,6 +12,9 @@ type t = {
   class_code : (string, Ra.Sysname.t) Hashtbl.t;
   seg_home : Net.Address.t Ra.Sysname.Table.t;
   seg_replicas : Net.Address.t list Ra.Sysname.Table.t;
+  seg_modes : Ra.Partition.consistency Ra.Sysname.Table.t;
+      (* per-segment consistency mode; absent = One_copy *)
+  default_consistency : Ra.Partition.consistency;
   obj_home : Net.Address.t Ra.Sysname.Table.t;
   volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
   mutable scheduler : [ `Round_robin | `Least_loaded ];
@@ -63,7 +66,24 @@ let set_replicas t seg replicas =
 
 let remove_segment t seg =
   Ra.Sysname.Table.remove t.seg_home seg;
-  Ra.Sysname.Table.remove t.seg_replicas seg
+  Ra.Sysname.Table.remove t.seg_replicas seg;
+  Ra.Sysname.Table.remove t.seg_modes seg
+
+let consistency_of t seg =
+  match Ra.Sysname.Table.find_opt t.seg_modes seg with
+  | Some m -> m
+  | None -> Ra.Partition.One_copy
+
+(* Record a segment's consistency mode cluster-wide (clients resolve
+   through [consistency_of]) and mirror it onto every server that
+   stores a replica, so the home defers/merges accordingly. *)
+let set_consistency t seg mode =
+  (match mode with
+  | Ra.Partition.One_copy -> Ra.Sysname.Table.remove t.seg_modes seg
+  | m -> Ra.Sysname.Table.replace t.seg_modes seg m);
+  Array.iter
+    (fun server -> Dsm.Dsm_server.set_consistency server seg mode)
+    t.servers
 
 let membership_usable t addr =
   match t.membership with
@@ -117,7 +137,9 @@ let volatile_partition =
 
 let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
     ?batch_io ?prefetch_window ?(replication = 1) ?group_commit_window
-    ?wal_max_batch ?checkpoint_every ~compute ~data ~workstations () =
+    ?wal_max_batch ?checkpoint_every
+    ?(default_consistency = Ra.Partition.One_copy) ~compute ~data ~workstations
+    () =
   if compute < 1 || data < 1 then
     invalid_arg "Cluster.create: need at least one compute and one data server";
   if replication < 1 then invalid_arg "Cluster.create: replication < 1";
@@ -127,6 +149,11 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
     match !t_ref with
     | Some t -> locate_segment t seg
     | None -> assert false
+  in
+  let consistency seg =
+    match !t_ref with
+    | Some t -> consistency_of t seg
+    | None -> Ra.Partition.One_copy
   in
   let data_nodes =
     Array.init data (fun i ->
@@ -148,7 +175,8 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
   let clients =
     Array.map
       (fun n ->
-        Dsm.Dsm_client.create n ~locate ?batch_io ?prefetch_window ())
+        Dsm.Dsm_client.create n ~locate ~consistency ?batch_io
+          ?prefetch_window ())
       compute_nodes
   in
   let wk =
@@ -176,6 +204,8 @@ let create eng ?(params = Ra.Params.default) ?ratp_config ?ether_config
       class_code = Hashtbl.create 16;
       seg_home = Ra.Sysname.Table.create 64;
       seg_replicas = Ra.Sysname.Table.create 64;
+      seg_modes = Ra.Sysname.Table.create 16;
+      default_consistency;
       obj_home = Ra.Sysname.Table.create 64;
       volatile = Hashtbl.create 16;
       scheduler = `Round_robin;

@@ -29,6 +29,11 @@ type t = {
   seg_replicas : Net.Address.t list Ra.Sysname.Table.t;
       (** full replica list per segment, primary first; segments with
           no entry live only at their [seg_home] *)
+  seg_modes : Ra.Partition.consistency Ra.Sysname.Table.t;
+      (** per-segment consistency mode; absent = [One_copy] *)
+  default_consistency : Ra.Partition.consistency;
+      (** mode given to object segments created without an explicit
+          [?consistency] *)
   obj_home : Net.Address.t Ra.Sysname.Table.t;
   volatile : (int, unit Ra.Sysname.Table.t) Hashtbl.t;
   mutable scheduler : [ `Round_robin | `Least_loaded ];
@@ -75,6 +80,7 @@ val create :
   ?group_commit_window:Sim.Time.span ->
   ?wal_max_batch:int ->
   ?checkpoint_every:Sim.Time.span ->
+  ?default_consistency:Ra.Partition.consistency ->
   compute:int ->
   data:int ->
   workstations:int ->
@@ -90,7 +96,19 @@ val create :
     [replication] (default 1) is the target
     number of data servers holding each segment: primaries forward
     committed writes to the backups, and the replicator re-creates
-    lost copies when membership condemns a server. *)
+    lost copies when membership condemns a server.
+    [default_consistency] (default [One_copy]) is the mode new object
+    segments get when {!Object_manager.create_object} is not given an
+    explicit one. *)
+
+val consistency_of : t -> Ra.Sysname.t -> Ra.Partition.consistency
+(** A segment's consistency mode ([One_copy] when never set); every
+    DSM client resolves through this. *)
+
+val set_consistency : t -> Ra.Sysname.t -> Ra.Partition.consistency -> unit
+(** Record a segment's mode cluster-wide and mirror it onto every
+    data server.  Change modes only while the segment has no cached
+    remote copies (normally set once at creation). *)
 
 val pick_compute : t -> Ra.Node.t
 (** Scheduling decision for a new thread, according to

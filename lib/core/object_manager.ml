@@ -298,6 +298,21 @@ and invoke t ~node ~thread_id ~origin ~txn ~obj ~entry arg =
     t.cl.Cluster.entry_wrapper e.Obj_class.label ctx (fun () ->
         e.Obj_class.fn ctx arg)
   in
+  (* Release-consistency scope boundary for non-transactional
+     entries: ship the dirty pages home so the batched invalidation
+     burst fires and later readers see every write.  Transactional
+     entries already flush through commit. *)
+  (if ctx.Ctx.txn = None then
+     match Cluster.client_of t.cl node.Ra.Node.id with
+     | None -> ()
+     | Some client ->
+         List.iter
+           (fun seg ->
+             match Cluster.consistency_of t.cl seg with
+             | Ra.Partition.Release | Ra.Partition.Commutative _ ->
+                 Dsm.Dsm_client.flush_segment client seg
+             | Ra.Partition.One_copy -> ())
+           [ a.data_seg; a.heap_seg ]);
   Ra.Isiba.compute node t.cl.Cluster.params.Ra.Params.invoke_return;
   result
 
@@ -364,7 +379,8 @@ let create cl =
 (* ------------------------------------------------------------------ *)
 (* Creation and deletion *)
 
-let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
+let create_object t ?home ?on ?(thread_id = 0) ?origin ?consistency ~class_name
+    arg =
   let node = match on with Some n -> n | None -> Cluster.pick_compute t.cl in
   let cls =
     match Cluster.find_class t.cl class_name with
@@ -386,6 +402,11 @@ let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
   let targets = Cluster.replica_targets t.cl ~primary:home in
   let data_seg = Ra.Sysname.fresh node.Ra.Node.names in
   let heap_seg = Ra.Sysname.fresh node.Ra.Node.names in
+  let mode =
+    match consistency with
+    | Some m -> m
+    | None -> t.cl.Cluster.default_consistency
+  in
   (* each segment is created on the primary and every backup; the
      primary forwards committed writes from then on *)
   let mk seg pages =
@@ -393,13 +414,15 @@ let create_object t ?home ?on ?(thread_id = 0) ?origin ~class_name arg =
       (fun dst ->
         match
           dsm_rpc node ~dst
-            (Dsm.Protocol.Create_segment { seg; size = pages * Ra.Page.size })
+            (Dsm.Protocol.Create_segment
+               { seg; size = pages * Ra.Page.size; mode })
         with
         | Ok Dsm.Protocol.Segment_ok -> ()
         | Ok _ | Error Ratp.Endpoint.Timeout ->
             failwith "create_object: segment creation failed")
       targets;
-    Cluster.set_replicas t.cl seg targets
+    Cluster.set_replicas t.cl seg targets;
+    Cluster.set_consistency t.cl seg mode
   in
   mk data_seg cls.Obj_class.data_pages;
   mk heap_seg cls.Obj_class.heap_pages;

@@ -25,13 +25,18 @@ val create_object :
   ?on:Ra.Node.t ->
   ?thread_id:int ->
   ?origin:int ->
+  ?consistency:Ra.Partition.consistency ->
   class_name:string ->
   Value.t ->
   Ra.Sysname.t
 (** Instantiate a class: allocate and create the instance's segments
     on a data server ([home], default round robin), register the
     descriptor, and run the constructor (if any) on [on] (default:
-    scheduler's choice).  Returns the new object's sysname. *)
+    scheduler's choice).  Returns the new object's sysname.
+
+    [consistency] (default {!Cluster.t.default_consistency}) is the
+    coherence mode of the instance's data and heap segments; the
+    shared code segment always stays [One_copy]. *)
 
 val delete_object : t -> ?on:Ra.Node.t -> Ra.Sysname.t -> unit
 (** Remove the object: delete its segments, unregister it, and drop

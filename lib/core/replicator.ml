@@ -42,12 +42,13 @@ let probe_size t ~src ~seg =
 (* Give [dst] a fresh, all-zero segment of [size] bytes; a stale copy
    left over from an earlier replica stint is deleted first. *)
 let prepare_target t ~seg ~dst ~size =
-  match rpc t ~dst (P.Create_segment { seg; size }) with
+  let mode = Cluster.consistency_of t.cl seg in
+  match rpc t ~dst (P.Create_segment { seg; size; mode }) with
   | Ok P.Segment_ok -> true
   | Ok P.Segment_error -> (
       match rpc t ~dst (P.Delete_segment seg) with
       | Ok _ -> (
-          match rpc t ~dst (P.Create_segment { seg; size }) with
+          match rpc t ~dst (P.Create_segment { seg; size; mode }) with
           | Ok P.Segment_ok -> true
           | Ok _ | Error Ratp.Endpoint.Timeout -> false)
       | Error Ratp.Endpoint.Timeout -> false)

@@ -13,6 +13,7 @@ type stream = { mutable next_expected : int; mutable win : int }
 type t = {
   node : Ra.Node.t;
   locate : Ra.Sysname.t -> Net.Address.t;
+  mutable mode_of : Ra.Sysname.t -> Ra.Partition.consistency;
   local_store : Store.Segment_store.t option;
   batch_io : bool;
   prefetch_window : int;
@@ -23,6 +24,10 @@ type t = {
       (* epoch of the last invalidation seen per page: a prefetched
          extra is dropped instead of installed when its page was
          invalidated while the carrying reply was in flight *)
+  stale_dirty : (Ra.Sysname.t * int, unit) Hashtbl.t;
+      (* release-mode pages we kept through an Inval_batch because
+         they held unflushed local writes; their unmodified bytes are
+         stale, so our own flush drops the frame instead of rebasing *)
   fetches : Sim.Stats.counter;
   puts : Sim.Stats.counter;
   invals : Sim.Stats.counter;
@@ -30,9 +35,19 @@ type t = {
   loc_hits : Sim.Stats.counter;
   loc_misses : Sim.Stats.counter;
   loc_evictions : Sim.Stats.counter;
+  merge_rpcs : Sim.Stats.counter;
+  releases : Sim.Stats.counter;
+      (* Release_copies RPCs: copies this client dropped on its own
+         and told the home to forget, keeping copysets exact *)
 }
 
 let node t = t.node
+
+let set_consistency t f =
+  t.mode_of <- f;
+  Ra.Mmu.set_consistency t.node.Ra.Node.mmu f
+
+let consistency_of t seg = t.mode_of seg
 
 (* Location cache: segment-to-home bindings are stable between
    failures, so steady-state faults skip name resolution.  Entries
@@ -112,25 +127,46 @@ let call t ~dst body =
 (* Install the speculative read copies that rode a demand reply.  A
    page whose invalidation epoch advanced past [epoch0] (snapshotted
    before the request went out) was written while the reply was in
-   flight: its image is stale and is dropped.  The server keeps us in
-   that page's copyset either way, which is harmlessly conservative —
-   the next write fault sends one redundant Invalidate. *)
-let install_extras t ~seg ~epoch0 extras =
+   flight: its image is stale and is dropped.  The server registered
+   us in every shipped page's copyset before the reply left, so each
+   copy we decline — stale, or rejected by the MMU (resident,
+   in-flight fault, frame budget) — would leave a phantom
+   registration behind and cost the next write fault one redundant
+   Invalidate.  A single fire-and-forget Release_copies RPC keeps the
+   membership exact; it is off the fault's critical path. *)
+let install_extras t ~home ~seg ~epoch0 extras =
   let mmu = t.node.Ra.Node.mmu in
-  List.iter
-    (fun (p, data) ->
-      let stale =
-        match Hashtbl.find_opt t.page_epochs (seg, p) with
-        | Some e -> e > epoch0
-        | None -> false
-      in
-      if not stale then ignore (Ra.Mmu.install_read mmu seg p data))
-    extras
+  let declined =
+    List.filter
+      (fun (p, data) ->
+        let stale =
+          match Hashtbl.find_opt t.page_epochs (seg, p) with
+          | Some e -> e > epoch0
+          | None -> false
+        in
+        stale || not (Ra.Mmu.install_read mmu seg p data))
+      extras
+  in
+  if declined <> [] then begin
+    let pages = List.map (fun (p, _) -> (seg, p)) declined in
+    Sim.Stats.incr t.releases;
+    ignore
+      (Ra.Node.spawn t.node "dsm-release-copies" (fun () ->
+           ignore (call t ~dst:home (P.Release_copies pages))))
+  end
 
 let remote_fetch t ~seg ~page ~mode =
  Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.fetch" @@ fun () ->
   let home = locate_cached t seg in
   Sim.Stats.incr t.fetches;
+  let mode =
+    (* commutative pages are never owned: a local write upgrade
+       fetches the current image like a read and the home stays
+       arbitration-free (no invalidation, no recall, ever) *)
+    match (mode, t.mode_of seg) with
+    | Ra.Partition.Write, Ra.Partition.Commutative _ -> Ra.Partition.Read
+    | m, _ -> m
+  in
   let use_stream = t.prefetch_window > 0 && mode = Ra.Partition.Read in
   let window =
     if not use_stream then 0
@@ -150,7 +186,7 @@ let remote_fetch t ~seg ~page ~mode =
       if use_stream then (stream_for t seg).next_expected <- page + 1;
       data
   | Ok (P.Got_pages { main; extras }) ->
-      install_extras t ~seg ~epoch0 extras;
+      install_extras t ~home ~seg ~epoch0 extras;
       if use_stream then
         (stream_for t seg).next_expected <- page + 1 + List.length extras;
       main
@@ -211,12 +247,13 @@ let partition t =
         | Some _ | None -> remote_writeback t ~seg ~page data);
   }
 
-let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
-    () =
+let create node ~locate ?(consistency = fun _ -> Ra.Partition.One_copy)
+    ?local_store ?(batch_io = true) ?(prefetch_window = 0) () =
   let t =
     {
       node;
       locate;
+      mode_of = consistency;
       local_store;
       batch_io;
       prefetch_window;
@@ -224,6 +261,7 @@ let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
       streams = Ra.Sysname.Table.create 32;
       inval_epoch = 0;
       page_epochs = Hashtbl.create 64;
+      stale_dirty = Hashtbl.create 16;
       fetches = Sim.Stats.counter "dsmc.fetches";
       puts = Sim.Stats.counter "dsmc.puts";
       invals = Sim.Stats.counter "dsmc.invals";
@@ -231,9 +269,12 @@ let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
       loc_hits = Sim.Stats.counter "dsmc.loc_hits";
       loc_misses = Sim.Stats.counter "dsmc.loc_misses";
       loc_evictions = Sim.Stats.counter "dsmc.loc_evictions";
+      merge_rpcs = Sim.Stats.counter "dsmc.merge_rpcs";
+      releases = Sim.Stats.counter "dsmc.copy_releases";
     }
   in
   Ra.Mmu.set_resolver node.Ra.Node.mmu (fun _seg -> partition t);
+  Ra.Mmu.set_consistency node.Ra.Node.mmu consistency;
   Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.client_service
     (fun ~src:_ body ->
       let reply =
@@ -246,19 +287,136 @@ let create node ~locate ?local_store ?(batch_io = true) ?(prefetch_window = 0)
         | P.Downgrade { seg; page } ->
             Sim.Stats.incr t.downs;
             P.Downgraded { dirty = Ra.Mmu.downgrade node.Ra.Node.mmu seg page }
+        | P.Inval_batch pages ->
+            (* a release-mode lock scope ended: clean copies drop at
+               once.  A frame holding OUR unflushed writes survives —
+               its diff must still reach the home — but is marked
+               stale so our own flush drops it instead of rebasing
+               (its unmodified bytes predate the other scope). *)
+            List.iter
+              (fun (seg, page) ->
+                Sim.Stats.incr t.invals;
+                t.inval_epoch <- t.inval_epoch + 1;
+                Hashtbl.replace t.page_epochs (seg, page) t.inval_epoch;
+                if Ra.Mmu.is_dirty node.Ra.Node.mmu seg page then
+                  Hashtbl.replace t.stale_dirty (seg, page) ()
+                else ignore (Ra.Mmu.invalidate node.Ra.Node.mmu seg page))
+              pages;
+            P.Batch_ok
         | _ -> P.Page_error
       in
       (reply, P.request_bytes reply));
   t
 
+(* Maximal runs of bytes that differ from the twin.  Pages are
+   always Page.size, so only the common length matters. *)
+let diff_spans ~base ~current =
+  let n = min (Bytes.length base) (Bytes.length current) in
+  let spans = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if Bytes.get base !i <> Bytes.get current !i then begin
+      let j = ref (!i + 1) in
+      while !j < n && Bytes.get base !j <> Bytes.get current !j do
+        incr j
+      done;
+      spans := (!i, Bytes.sub current !i (!j - !i)) :: !spans;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !spans
+
+(* Release-mode writeback: ship only the byte spans changed against
+   each page's twin, in one Put_diffs RPC.  Sub-page application at
+   the home means two lock scopes writing disjoint bytes of the same
+   page cannot clobber each other, and the home's apply triggers the
+   deferred invalidation burst that ends this scope. *)
+let flush_release t seg dirty =
+ Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.put" @@ fun () ->
+  let mmu = t.node.Ra.Node.mmu in
+  let home = locate_cached t seg in
+  Sim.Stats.incr t.puts;
+  let entries =
+    List.map
+      (fun (page, data) ->
+        match Ra.Mmu.page_base mmu seg page with
+        | Some base -> (seg, page, diff_spans ~base ~current:data)
+        | None -> (seg, page, [ (0, data) ]))
+      dirty
+  in
+  match call t ~dst:home (P.Put_diffs entries) with
+  | Ok P.Batch_ok ->
+      List.iter
+        (fun (page, _) ->
+          if Hashtbl.mem t.stale_dirty (seg, page) then begin
+            (* another scope flushed under us: our diff is home, but
+               the frame's unmodified bytes are stale — refetch on
+               next touch *)
+            Hashtbl.remove t.stale_dirty (seg, page);
+            ignore (Ra.Mmu.invalidate mmu seg page)
+          end
+          else begin
+            Ra.Mmu.mark_clean mmu seg page;
+            Ra.Mmu.rebase mmu seg page
+          end)
+        dirty
+  | Ok _ -> raise (Unavailable seg)
+  | Error Ratp.Endpoint.Timeout ->
+      forget_location t seg;
+      raise (Unavailable seg)
+
+(* Commutative flush: encode the local writes as merge deltas against
+   each page's twin and let the home combine them; the reply carries
+   the post-merge images, so anti-entropy (pulling everyone else's
+   merged counters) rides the same round trip. *)
+let flush_merges t seg op dirty =
+ Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.merge" @@ fun () ->
+  let mmu = t.node.Ra.Node.mmu in
+  let home = locate_cached t seg in
+  Sim.Stats.incr t.merge_rpcs;
+  let deltas =
+    List.map
+      (fun (page, data) ->
+        let base =
+          match Ra.Mmu.page_base mmu seg page with
+          | Some b -> b
+          | None -> Bytes.make (Bytes.length data) '\000'
+        in
+        (seg, page, Ra.Partition.merge_delta op ~base ~current:data))
+      dirty
+  in
+  match call t ~dst:home (P.Merge_delta deltas) with
+  | Ok (P.Merged images) ->
+      List.iter
+        (fun (s, page, img) -> Ra.Mmu.merge_refresh mmu s page img)
+        images
+  | Ok _ -> raise (Unavailable seg)
+  | Error Ratp.Endpoint.Timeout ->
+      forget_location t seg;
+      raise (Unavailable seg)
+
 (* Writeback of a segment's dirty pages: one Put_batch carrying all
    of them (RaTP fragments it on the wire) instead of one Put_page
    round trip per page.  [~batch_io:false] keeps the historical
-   serial loop for A/B comparison ({!Experiments.Page_batching}). *)
+   serial loop for A/B comparison ({!Experiments.Page_batching}).
+   Relaxed-consistency segments always flush as one RPC: diffs for
+   release mode, merge deltas for commutative. *)
 let flush_segment t seg =
   let mmu = t.node.Ra.Node.mmu in
   match Ra.Mmu.dirty_pages mmu seg with
   | [] -> ()
+  | dirty
+    when t.mode_of seg = Ra.Partition.Release && not (is_local t seg) ->
+      flush_release t seg dirty
+  | dirty
+    when (match t.mode_of seg with
+         | Ra.Partition.Commutative _ -> true
+         | _ -> false)
+         && not (is_local t seg) -> (
+      match t.mode_of seg with
+      | Ra.Partition.Commutative op -> flush_merges t seg op dirty
+      | _ -> assert false)
   | dirty when t.batch_io && not (is_local t seg) ->
       remote_write_batch t ~seg
         (List.map (fun (page, data) -> (seg, page, data)) dirty);
@@ -270,7 +428,23 @@ let flush_segment t seg =
           Ra.Mmu.mark_clean mmu seg page)
         dirty
 
-let drop_segment t seg = Ra.Mmu.drop_segment t.node.Ra.Node.mmu seg
+(* Dropping a segment's frames also drops our copyset registrations
+   at the home; telling it (one RPC, errors swallowed — this is pure
+   bookkeeping) keeps the copysets exact so no later write fault pays
+   a redundant Invalidate for copies we no longer hold. *)
+let drop_segment t seg =
+  let mmu = t.node.Ra.Node.mmu in
+  let pages = Ra.Mmu.segment_pages mmu seg in
+  List.iter (fun p -> Hashtbl.remove t.stale_dirty (seg, p)) pages;
+  Ra.Mmu.drop_segment mmu seg;
+  if pages <> [] && not (is_local t seg) then begin
+    Sim.Stats.incr t.releases;
+    try
+      ignore
+        (call t ~dst:(locate_cached t seg)
+           (P.Release_copies (List.map (fun p -> (seg, p)) pages)))
+    with _ -> ()
+  end
 
 let remote_fetches t = Sim.Stats.value t.fetches
 let put_rpcs t = Sim.Stats.value t.puts
@@ -279,6 +453,8 @@ let downgrades_received t = Sim.Stats.value t.downs
 let location_hits t = Sim.Stats.value t.loc_hits
 let location_misses t = Sim.Stats.value t.loc_misses
 let location_evictions t = Sim.Stats.value t.loc_evictions
+let merge_flushes t = Sim.Stats.value t.merge_rpcs
+let copy_releases t = Sim.Stats.value t.releases
 
 let metrics t =
   [
@@ -289,4 +465,6 @@ let metrics t =
     ("dsmc/loc_hits", Obs.Registry.Counter t.loc_hits);
     ("dsmc/loc_misses", Obs.Registry.Counter t.loc_misses);
     ("dsmc/loc_evictions", Obs.Registry.Counter t.loc_evictions);
+    ("dsm/mode/merge_rpcs", Obs.Registry.Counter t.merge_rpcs);
+    ("dsm/mode/copy_releases", Obs.Registry.Counter t.releases);
   ]

@@ -21,6 +21,7 @@ type t
 val create :
   Ra.Node.t ->
   locate:(Ra.Sysname.t -> Net.Address.t) ->
+  ?consistency:(Ra.Sysname.t -> Ra.Partition.consistency) ->
   ?local_store:Store.Segment_store.t ->
   ?batch_io:bool ->
   ?prefetch_window:int ->
@@ -42,7 +43,19 @@ val create :
     copies.  The window adapts per segment — it doubles while faults
     land sequentially and resets on a random jump.  Off by default
     because prefetch changes fault counts and timings, which the
-    calibrated experiments pin down. *)
+    calibrated experiments pin down.
+
+    [consistency] maps a segment to its coherence mode (default: all
+    [One_copy]); it is also installed as the MMU's consistency
+    resolver so relaxed-mode frames keep twins.  Write faults on
+    [Commutative] segments go out as reads (the home never arbitrates
+    them), and {!flush_segment} ships diffs or merge deltas instead
+    of page images for relaxed modes. *)
+
+val set_consistency : t -> (Ra.Sysname.t -> Ra.Partition.consistency) -> unit
+(** Replace the consistency resolver (also re-points the MMU's). *)
+
+val consistency_of : t -> Ra.Sysname.t -> Ra.Partition.consistency
 
 val partition : t -> Ra.Partition.t
 
@@ -56,7 +69,9 @@ val flush_segment : t -> Ra.Sysname.t -> unit
 
 val drop_segment : t -> Ra.Sysname.t -> unit
 (** Locally invalidate all frames of a segment without writing them
-    back (transaction abort). *)
+    back (transaction abort), and release the matching copyset
+    registrations at the home so no later write fault invalidates
+    copies that are already gone. *)
 
 val reset_location_cache : t -> unit
 (** Drop every cached segment-to-home binding (placement may change
@@ -91,6 +106,13 @@ val location_misses : t -> int
 val location_evictions : t -> int
 (** Cached bindings dropped because the membership view condemned
     their home. *)
+
+val merge_flushes : t -> int
+(** [Merge_delta] RPCs sent for commutative segments. *)
+
+val copy_releases : t -> int
+(** [Release_copies] RPCs sent (declined prefetch installs and
+    segment drops) to keep copysets exact. *)
 
 val metrics : t -> (string * Obs.Registry.metric) list
 (** Live metric handles under ["dsmc/"] paths, for a per-node

@@ -41,6 +41,9 @@ type t = {
       (* backup data servers for a segment (replication > 1); the
          cluster wires this so only a segment's current primary
          forwards *)
+  modes : Ra.Partition.consistency Ra.Sysname.Table.t;
+      (* per-segment consistency mode (absent = One_copy); populated
+         at Create_segment and by [set_consistency] *)
   warmed : unit Ra.Sysname.Table.t;
       (* segments whose backing file has been read at least once; the
          first touch pays a disk read (cold buffer cache) *)
@@ -59,6 +62,13 @@ type t = {
   commit_count : Sim.Stats.counter;
   abort_count : Sim.Stats.counter;
   mirrored : Sim.Stats.counter;
+  deferred : Sim.Stats.counter;
+      (* per-copy invalidations a release-mode write fault skipped *)
+  flush_bursts : Sim.Stats.counter;
+      (* release flushes that sent at least one Inval_batch *)
+  flush_batch : Sim.Stats.hist;
+      (* pages per Inval_batch RPC: how much each burst amortizes *)
+  merges : Sim.Stats.counter;  (* commutative page merges applied *)
 }
 
 let node t = t.node
@@ -74,6 +84,13 @@ let page_mutex t key =
       let m = Sim.Mutex.create ~label:"dsm-page" () in
       Hashtbl.replace t.page_mutexes key m;
       m
+
+let consistency_of t seg =
+  match Ra.Sysname.Table.find_opt t.modes seg with
+  | Some m -> m
+  | None -> Ra.Partition.One_copy
+
+let set_consistency t seg mode = Ra.Sysname.Table.replace t.modes seg mode
 
 let owner_state t key =
   match Hashtbl.find_opt t.owners key with
@@ -210,6 +227,75 @@ let invalidate_copies t key ~except =
   st.owner <- None;
   st.copyset <- List.filter (Net.Address.equal except) st.copyset
 
+(* Release-mode flush: the invalidations deferred by every write
+   fault in the lock scope go out now, as the scope's dirty pages
+   land at the home.  Each copyset member gets ONE Inval_batch RPC
+   covering all the pages it caches, and all members are hit in a
+   single concurrent fan-out — N writes under a lock cost one burst
+   instead of N.  The sender of the writes keeps its (up to date)
+   copy; everyone else refetches on next touch, which is the
+   "acquire pulls fresh pages" half of the protocol. *)
+let release_flush t writes ~except =
+  let per_peer : (Net.Address.t, (Ra.Sysname.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (seg, page, _) ->
+      if
+        (not (Hashtbl.mem seen (seg, page)))
+        && consistency_of t seg = Ra.Partition.Release
+      then begin
+        Hashtbl.add seen (seg, page) ();
+        match Hashtbl.find_opt t.owners (seg, page) with
+        | None -> ()
+        | Some st ->
+            List.iter
+              (fun c ->
+                if
+                  (not (Net.Address.equal c except))
+                  && not (Hashtbl.mem t.suspects c)
+                then begin
+                  let cell =
+                    match Hashtbl.find_opt per_peer c with
+                    | Some cell -> cell
+                    | None ->
+                        let cell = ref [] in
+                        Hashtbl.replace per_peer c cell;
+                        cell
+                  in
+                  cell := (seg, page) :: !cell
+                end)
+              st.copyset;
+            st.owner <- None;
+            st.copyset <- List.filter (Net.Address.equal except) st.copyset
+      end)
+    writes;
+  let targets =
+    Hashtbl.fold (fun peer cell acc -> (peer, List.rev !cell) :: acc) per_peer []
+    |> List.sort (fun (a, _) (b, _) -> Net.Address.compare a b)
+  in
+  if targets <> [] then begin
+    Sim.Stats.incr t.flush_bursts;
+    (* counting outside the fan-out keeps the trace deterministic *)
+    List.iter
+      (fun (_, pages) ->
+        Sim.Stats.incr t.invals;
+        Sim.Stats.hadd t.flush_batch (float_of_int (List.length pages)))
+      targets;
+    let send (peer, pages) =
+      match call_client t ~dst:peer (P.Inval_batch pages) with
+      | Ok _ -> ()
+      | Error Ratp.Endpoint.Timeout -> Hashtbl.replace t.suspects peer ()
+    in
+    Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.release_flush" (fun () ->
+        let parent = Obs.Tracer.current () in
+        let send x = Obs.Tracer.under parent (fun () -> send x) in
+        if t.parallel_coherence then
+          ignore (Sim.Fanout.map targets ~label:"dsm-release" ~f:send)
+        else List.iter send targets)
+  end
+
 let warm_segment t seg =
   if not (Ra.Sysname.Table.mem t.warmed seg) then begin
     Ra.Sysname.Table.replace t.warmed seg ();
@@ -275,10 +361,27 @@ let handle_get t ~src seg page mode window =
             | None -> ());
             if not (List.mem src st.copyset) then
               st.copyset <- src :: st.copyset
-        | Ra.Partition.Write ->
-            invalidate_copies t key ~except:src;
-            st.owner <- Some src;
-            st.copyset <- []);
+        | Ra.Partition.Write -> (
+            match consistency_of t seg with
+            | Ra.Partition.One_copy ->
+                invalidate_copies t key ~except:src;
+                st.owner <- Some src;
+                st.copyset <- []
+            | Ra.Partition.Release | Ra.Partition.Commutative _ ->
+                (* the invalidation fan-out is deferred to the flush
+                   that ends the writer's scope (or, for commutative
+                   segments, never happens); the writer joins the
+                   copyset like a reader and no owner is recorded, so
+                   concurrent readers keep hitting the store *)
+                let skipped =
+                  List.length
+                    (List.filter
+                       (fun c -> not (Net.Address.equal c src))
+                       st.copyset)
+                in
+                Sim.Stats.incr_by t.deferred skipped;
+                if not (List.mem src st.copyset) then
+                  st.copyset <- src :: st.copyset));
         Sim.Stats.incr t.served;
         let main = Store.Segment_store.read_page t.store seg page in
         let extras =
@@ -391,7 +494,7 @@ let handle_prepare t txn writes =
     P.Vote true
   end
 
-let handle_commit t txn =
+let handle_commit t ~src txn =
   match Txn_table.find_opt t.prepared txn with
   | Some { writes; _ } when Store.Wal.group_commit t.wal ->
       (* pipelined commit: the record goes into the log buffer, the
@@ -408,12 +511,14 @@ let handle_commit t txn =
       Txn_table.remove t.prepared txn;
       Sim.Stats.incr t.commit_count;
       release_txn_everywhere t txn;
+      release_flush t writes ~except:src;
       Store.Wal.wait_durable t.wal lsn;
       mirror_writes t writes;
       P.Txn_done
   | Some { writes; _ } ->
       Store.Wal.append t.wal (Store.Wal.Committed (txn.P.tnode, txn.P.tseq));
       apply_writes t writes;
+      release_flush t writes ~except:src;
       mirror_writes t writes;
       Txn_table.remove t.prepared txn;
       Sim.Stats.incr t.commit_count;
@@ -437,7 +542,9 @@ let handle_abort t txn =
    traced request allocates nothing. *)
 let op_label = function
   | P.Get_page _ -> "serve.get"
-  | P.Put_page _ | P.Put_batch _ -> "serve.put"
+  | P.Put_page _ | P.Put_batch _ | P.Put_diffs _ -> "serve.put"
+  | P.Merge_delta _ -> "serve.merge"
+  | P.Release_copies _ -> "serve.release"
   | P.Overwrite _ | P.Mirror_writes _ | P.Backfill _ -> "serve.mirror"
   | P.Read_pages _ -> "serve.read"
   | P.Create_segment _ | P.Delete_segment _ -> "serve.seg"
@@ -459,13 +566,93 @@ let handle t ~src body =
   | P.Put_page { seg; page; data } ->
       if Store.Segment_store.exists t.store seg then begin
         Store.Segment_store.write_page t.store seg page data;
+        release_flush t [ (seg, page, data) ] ~except:src;
         mirror_writes t [ (seg, page, data) ];
         P.Batch_ok
       end
       else P.Segment_error
   | P.Put_batch writes ->
       apply_writes t writes;
+      release_flush t writes ~except:src;
       mirror_writes t writes;
+      P.Batch_ok
+  | P.Put_diffs entries ->
+      (* release-mode writeback: apply each page's changed byte spans
+         over the current store image, so concurrent lock scopes
+         writing disjoint bytes of one page never clobber each other *)
+      let images =
+        List.filter_map
+          (fun (seg, page, spans) ->
+            if not (Store.Segment_store.exists t.store seg) then None
+            else begin
+              let cur =
+                match Store.Segment_store.read_page t.store seg page with
+                | Ra.Partition.Data b -> b
+                | Ra.Partition.Zeroed -> Bytes.make Ra.Page.size '\000'
+              in
+              List.iter
+                (fun (off, b) ->
+                  let len =
+                    min (Bytes.length b) (max 0 (Bytes.length cur - off))
+                  in
+                  if off >= 0 && len > 0 then Bytes.blit b 0 cur off len)
+                spans;
+              Store.Segment_store.write_page t.store seg page cur;
+              Some (seg, page, cur)
+            end)
+          entries
+      in
+      release_flush t images ~except:src;
+      mirror_writes t images;
+      P.Batch_ok
+  | P.Merge_delta deltas ->
+      (* commutative flush: combine each delta into the home image
+         under the segment's merge operator and return the post-merge
+         images so the replica refreshes.  The transport's
+         exactly-once call cache absorbs duplicate deliveries, so an
+         Add delta is never applied twice. *)
+      let merged =
+        List.filter_map
+          (fun (seg, page, delta) ->
+            if not (Store.Segment_store.exists t.store seg) then None
+            else begin
+              let op =
+                match consistency_of t seg with
+                | Ra.Partition.Commutative op -> op
+                | Ra.Partition.One_copy | Ra.Partition.Release ->
+                    Ra.Partition.Max
+              in
+              let into =
+                match Store.Segment_store.read_page t.store seg page with
+                | Ra.Partition.Data b -> b
+                | Ra.Partition.Zeroed -> Bytes.make Ra.Page.size '\000'
+              in
+              Ra.Partition.apply_merge op ~into delta;
+              Store.Segment_store.write_page t.store seg page into;
+              Sim.Stats.incr t.merges;
+              Some (seg, page, into)
+            end)
+          deltas
+      in
+      mirror_writes t merged;
+      P.Merged merged
+  | P.Release_copies pages ->
+      (* exact copyset maintenance: the client dropped these copies
+         on its own, so forget it — the next write fault then skips
+         the redundant Invalidate *)
+      List.iter
+        (fun (seg, page) ->
+          match Hashtbl.find_opt t.owners (seg, page) with
+          | None -> ()
+          | Some st ->
+              st.copyset <-
+                List.filter
+                  (fun c -> not (Net.Address.equal c src))
+                  st.copyset;
+              (match st.owner with
+              | Some w when Net.Address.equal w src -> st.owner <- None
+              | Some _ | None -> ()))
+        pages;
       P.Batch_ok
   | P.Overwrite writes ->
       (* replica propagation: force these page images in, dropping
@@ -515,14 +702,18 @@ let handle t ~src body =
         in
         P.Pages { size; pages = go from [] }
       end
-  | P.Create_segment { seg; size } ->
+  | P.Create_segment { seg; size; mode } ->
       if Store.Segment_store.exists t.store seg then P.Segment_error
       else begin
         Store.Segment_store.create_segment t.store seg ~size;
+        (match mode with
+        | Ra.Partition.One_copy -> ()
+        | m -> Ra.Sysname.Table.replace t.modes seg m);
         P.Segment_ok
       end
   | P.Delete_segment seg ->
       Store.Segment_store.delete_segment t.store seg;
+      Ra.Sysname.Table.remove t.modes seg;
       Hashtbl.iter
         (fun (s, _) st ->
           if Ra.Sysname.equal s seg then begin
@@ -546,7 +737,7 @@ let handle t ~src body =
       Store.Directory.remove t.directory obj;
       P.Registered
   | P.Prepare { txn; writes } -> handle_prepare t txn writes
-  | P.Commit { txn } -> handle_commit t txn
+  | P.Commit { txn } -> handle_commit t ~src txn
   | P.Abort { txn } -> handle_abort t txn
   | P.List_objects -> P.Objects (Store.Directory.objects t.directory)
   | _ -> P.Page_error
@@ -580,6 +771,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       owners = Hashtbl.create 64;
       suspects = Hashtbl.create 8;
       mirrors = (fun _ -> []);
+      modes = Ra.Sysname.Table.create 16;
       warmed = Ra.Sysname.Table.create 64;
       prepared = Txn_table.create 8;
       presume_abort_after;
@@ -593,6 +785,10 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       commit_count = Sim.Stats.counter "dsm.commits";
       abort_count = Sim.Stats.counter "dsm.aborts";
       mirrored = Sim.Stats.counter "dsm.mirrored_writes";
+      deferred = Sim.Stats.counter "dsm.deferred_invals";
+      flush_bursts = Sim.Stats.counter "dsm.release_flush_bursts";
+      flush_batch = Sim.Stats.hist "dsm.release_flush_batch";
+      merges = Sim.Stats.counter "dsm.merges_applied";
     }
   in
   Ratp.Endpoint.serve node.Ra.Node.endpoint ~service:P.service
@@ -698,6 +894,9 @@ let downgrades_sent t = Sim.Stats.value t.downs
 let commits t = Sim.Stats.value t.commit_count
 let aborts t = Sim.Stats.value t.abort_count
 let mirrored_writes t = Sim.Stats.value t.mirrored
+let deferred_invals t = Sim.Stats.value t.deferred
+let release_flush_bursts t = Sim.Stats.value t.flush_bursts
+let merges_applied t = Sim.Stats.value t.merges
 
 let metrics t =
   [
@@ -708,6 +907,10 @@ let metrics t =
     ("dsm/commits", Obs.Registry.Counter t.commit_count);
     ("dsm/aborts", Obs.Registry.Counter t.abort_count);
     ("dsm/mirrored_writes", Obs.Registry.Counter t.mirrored);
+    ("dsm/mode/deferred_invals", Obs.Registry.Counter t.deferred);
+    ("dsm/mode/release_flush_bursts", Obs.Registry.Counter t.flush_bursts);
+    ("dsm/mode/release_flush_batch", Obs.Registry.Hist t.flush_batch);
+    ("dsm/mode/merges_applied", Obs.Registry.Counter t.merges);
     ("disk/ops", Obs.Registry.Counter (Store.Disk.ops_counter t.disk));
     ("disk/bytes", Obs.Registry.Counter (Store.Disk.bytes_counter t.disk));
     ("disk/busy_us", Obs.Registry.Counter (Store.Disk.busy_counter t.disk));

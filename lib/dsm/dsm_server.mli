@@ -81,6 +81,17 @@ val apply_view : t -> Membership.Monitor.view -> unit
 val suspected : t -> Net.Address.t list
 (** Peers currently skipped by coherence fan-outs; sorted (tests). *)
 
+val set_consistency : t -> Ra.Sysname.t -> Ra.Partition.consistency -> unit
+(** Override a segment's consistency mode (normally set by the
+    [Create_segment] RPC).  [Release] defers write-fault invalidation
+    to the flush that lands the scope's dirty pages, batching one
+    [Inval_batch] RPC per copyset member in a single fan-out;
+    [Commutative] segments never invalidate and combine flushed
+    deltas under their merge operator. *)
+
+val consistency_of : t -> Ra.Sysname.t -> Ra.Partition.consistency
+(** A segment's consistency mode ([One_copy] when never set). *)
+
 val set_mirrors : t -> (Ra.Sysname.t -> Net.Address.t list) -> unit
 (** Wire the backup map for replicated segments: committed writes
     ([Put_page]/[Put_batch]/[Overwrite]/2PC commit application) are
@@ -109,6 +120,15 @@ val aborts : t -> int
 
 val mirrored_writes : t -> int
 (** Page images forwarded to backups over this server's lifetime. *)
+
+val deferred_invals : t -> int
+(** Per-copy invalidations skipped by relaxed-mode write faults. *)
+
+val release_flush_bursts : t -> int
+(** Release flushes that sent at least one [Inval_batch] fan-out. *)
+
+val merges_applied : t -> int
+(** Commutative page merges combined into the store. *)
 
 val metrics : t -> (string * Obs.Registry.metric) list
 (** Live metric handles under ["dsm/"] paths, for a per-node

@@ -25,7 +25,11 @@ type Ratp.Packet.body +=
   | Invalidated of { dirty : bytes option }
   | Downgrade of { seg : Ra.Sysname.t; page : int }
   | Downgraded of { dirty : bytes option }
-  | Create_segment of { seg : Ra.Sysname.t; size : int }
+  | Create_segment of {
+      seg : Ra.Sysname.t;
+      size : int;
+      mode : Ra.Partition.consistency;
+    }
   | Delete_segment of Ra.Sysname.t
   | Segment_ok
   | Segment_error
@@ -62,6 +66,30 @@ type Ratp.Packet.body +=
           so a page the backfill finds non-zero was written by a
           fresher mirrored write — overwriting it would lose a
           committed update. *)
+  | Inval_batch of (Ra.Sysname.t * int) list
+      (** Release-mode flush: the batched invalidations a lock scope
+          deferred, delivered to one copyset member as a single RPC
+          when the scope's dirty pages land at the home.  The copy is
+          dropped without returning dirty data (an unflushed write on
+          an invalidated release page was outside lock discipline). *)
+  | Put_diffs of (Ra.Sysname.t * int * (int * bytes) list) list
+      (** Release-mode writeback: per page, the byte spans (offset,
+          bytes) that changed against the twin.  Sub-page application
+          keeps concurrent writers to disjoint bytes of one page from
+          clobbering each other (the classic twin/diff trick). *)
+  | Merge_delta of write_set
+      (** Commutative flush: per page, the word-wise delta of the
+          replica's writes against its twin.  The home combines it
+          under the segment's merge operator; duplicate delivery is
+          absorbed by the transport's exactly-once call cache. *)
+  | Merged of write_set
+      (** Post-merge home images, returned so the flushing replica
+          refreshes its copy (anti-entropy rides the flush reply). *)
+  | Release_copies of (Ra.Sysname.t * int) list
+      (** A client dropped these page copies without being told to
+          (rejected prefetch install, stale extra, segment drop);
+          the home deletes it from the copysets so the next write
+          fault doesn't send it a redundant Invalidate. *)
 
 let service = 10
 let client_service = 11
@@ -112,6 +140,15 @@ let request_bytes = function
   | Pages { pages; _ } -> 48 + extras_bytes pages
   | Mirror_writes ws -> 48 + write_set_bytes ws
   | Backfill ws -> 48 + write_set_bytes ws
+  | Inval_batch pages | Release_copies pages -> 32 + (24 * List.length pages)
+  | Put_diffs entries ->
+      List.fold_left
+        (fun acc (_, _, spans) ->
+          List.fold_left
+            (fun acc (_, data) -> acc + 8 + Bytes.length data)
+            (acc + 24) spans)
+        48 entries
+  | Merge_delta ws | Merged ws -> 48 + write_set_bytes ws
   | _ -> 64
 
 let txn_compare a b =

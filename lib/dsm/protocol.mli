@@ -42,7 +42,11 @@ type Ratp.Packet.body +=
   | Invalidated of { dirty : bytes option }
   | Downgrade of { seg : Ra.Sysname.t; page : int }
   | Downgraded of { dirty : bytes option }
-  | Create_segment of { seg : Ra.Sysname.t; size : int }
+  | Create_segment of {
+      seg : Ra.Sysname.t;
+      size : int;
+      mode : Ra.Partition.consistency;
+    }
   | Delete_segment of Ra.Sysname.t
   | Segment_ok
   | Segment_error
@@ -75,6 +79,22 @@ type Ratp.Packet.body +=
       (** re-replication catch-up copy: a page is applied only if the
           receiving store still holds it zeroed, so it can never
           clobber a fresher mirrored write *)
+  | Inval_batch of (Ra.Sysname.t * int) list
+      (** release-mode flush: one batched invalidation RPC per copyset
+          member, sent when a lock scope's dirty pages land at the
+          home; the copy is dropped without returning dirty data *)
+  | Put_diffs of (Ra.Sysname.t * int * (int * bytes) list) list
+      (** release-mode writeback: per page, the (offset, bytes) spans
+          changed against the twin, applied sub-page at the home *)
+  | Merge_delta of write_set
+      (** commutative flush: word-wise deltas against the twin,
+          combined at the home under the segment's merge operator *)
+  | Merged of write_set
+      (** post-merge home images returned to the flushing replica *)
+  | Release_copies of (Ra.Sysname.t * int) list
+      (** exact copyset maintenance: the client dropped these page
+          copies on its own (rejected prefetch install, stale extra,
+          segment drop), so the home deletes it from the copysets *)
 
 val service : int
 (** RaTP service id of DSM servers. *)

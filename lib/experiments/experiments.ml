@@ -25,4 +25,5 @@ module Page_batching = Page_batching
 module Transport = Transport
 module Load = Load
 module Commit = Commit_exp
+module Consistency = Consistency_exp
 module Trace_run = Trace_run

@@ -17,7 +17,7 @@ let run ?(elements = 16_384) ?(worker_counts = [ 1; 2; 4; 8 ]) () =
       let points =
         List.map
           (fun workers ->
-            let obj = Apps.Sorter.create sys.Clouds.om ~capacity:elements in
+            let obj = Apps.Sorter.create sys.Clouds.om ~capacity:elements () in
             Apps.Sorter.fill sys.Clouds.om ~obj ~n:elements ~seed:42;
             let sum = Apps.Sorter.checksum sys.Clouds.om ~obj in
             let r = Apps.Sorter.distributed_sort sys.Clouds.om ~obj ~workers in

@@ -6,6 +6,12 @@ type frame = {
   data : bytes;  (* always Page.size long *)
   mutable dirty : bool;
   mutable last_used : int;  (* logical access clock, for LRU *)
+  mutable base : bytes option;
+      (* twin: snapshot of [data] as fetched, kept only for segments
+         in a relaxed consistency mode.  Release-mode flushes diff
+         against it so concurrent writers to disjoint bytes of one
+         page don't clobber each other; commutative flushes encode
+         their merge delta against it. *)
 }
 
 type t = {
@@ -14,6 +20,7 @@ type t = {
   max_frames : int;
   mutable access_clock : int;
   mutable resolver : Sysname.t -> Partition.t;
+  mutable consistency : Sysname.t -> Partition.consistency;
   frames : (Sysname.t * int, frame) Hashtbl.t;
   inflight : (Sysname.t * int, unit Sim.Ivar.t) Hashtbl.t;
   poisoned : (Sysname.t * int, unit) Hashtbl.t;
@@ -33,6 +40,7 @@ let create ?(max_frames = max_int) ~params ~cpu () =
     max_frames;
     access_clock = 0;
     resolver = (fun seg -> raise (Partition.No_segment seg));
+    consistency = (fun _ -> Partition.One_copy);
     frames = Hashtbl.create 256;
     inflight = Hashtbl.create 8;
     poisoned = Hashtbl.create 8;
@@ -45,7 +53,17 @@ let create ?(max_frames = max_int) ~params ~cpu () =
   }
 
 let set_resolver t resolver = t.resolver <- resolver
+let set_consistency t f = t.consistency <- f
 let set_access_hook t hook = t.hook <- hook
+
+(* Only relaxed-mode segments keep twins; one-copy frames stay
+   exactly as before so the default protocol's footprint (and traces)
+   are unchanged. *)
+let snapshot_base t seg frame =
+  match t.consistency seg with
+  | Partition.One_copy -> ()
+  | Partition.Release | Partition.Commutative _ ->
+      frame.base <- Some (Page.copy frame.data)
 
 let touch_frame t frame =
   t.access_clock <- t.access_clock + 1;
@@ -122,13 +140,20 @@ let rec ensure_resident ?(backoff = Sim.Time.of_ms_f 4.0) t seg page need =
                 | Partition.Zeroed ->
                     t.zero_fills <- t.zero_fills + 1;
                     Cpu.consume t.cpu ~key:self t.params.Params.fault_zero_fill;
-                    { mode = need; data = Page.zero (); dirty = false; last_used = 0 }
+                    {
+                      mode = need;
+                      data = Page.zero ();
+                      dirty = false;
+                      last_used = 0;
+                      base = None;
+                    }
                 | Partition.Data b ->
                     Cpu.consume t.cpu ~key:self t.params.Params.fault_copy;
                     let data = Page.zero () in
                     Bytes.blit b 0 data 0 (min (Bytes.length b) Page.size);
-                    { mode = need; data; dirty = false; last_used = 0 }
+                    { mode = need; data; dirty = false; last_used = 0; base = None }
               in
+              snapshot_base t seg frame;
               touch_frame t frame;
               if existing = None then make_room t;
               if Hashtbl.mem t.poisoned key then begin
@@ -251,8 +276,15 @@ let install_read t seg page data =
     let page_data = Page.zero () in
     Bytes.blit data 0 page_data 0 (min (Bytes.length data) Page.size);
     let frame =
-      { mode = Partition.Read; data = page_data; dirty = false; last_used = 0 }
+      {
+        mode = Partition.Read;
+        data = page_data;
+        dirty = false;
+        last_used = 0;
+        base = None;
+      }
     in
+    snapshot_base t seg frame;
     touch_frame t frame;
     Hashtbl.replace t.frames key frame;
     t.prefetches <- t.prefetches + 1;
@@ -263,6 +295,38 @@ let mark_clean t seg page =
   match Hashtbl.find_opt t.frames (seg, page) with
   | Some f -> f.dirty <- false
   | None -> ()
+
+let is_dirty t seg page =
+  match Hashtbl.find_opt t.frames (seg, page) with
+  | Some f -> f.dirty
+  | None -> false
+
+let page_base t seg page =
+  match Hashtbl.find_opt t.frames (seg, page) with
+  | Some { base = Some b; _ } -> Some (Page.copy b)
+  | _ -> None
+
+(* After a relaxed-mode flush: the home now holds this image, so it
+   becomes the frame's new twin (and, for commutative refresh, its
+   contents). *)
+let merge_refresh t seg page data =
+  match Hashtbl.find_opt t.frames (seg, page) with
+  | None -> ()
+  | Some f ->
+      Bytes.blit data 0 f.data 0 (min (Bytes.length data) Page.size);
+      f.dirty <- false;
+      snapshot_base t seg f
+
+let rebase t seg page =
+  match Hashtbl.find_opt t.frames (seg, page) with
+  | None -> ()
+  | Some f -> snapshot_base t seg f
+
+let segment_pages t seg =
+  Hashtbl.fold
+    (fun (s, page) _ acc -> if Sysname.equal s seg then page :: acc else acc)
+    t.frames []
+  |> List.sort Int.compare
 
 let drop_segment t seg =
   let keys =

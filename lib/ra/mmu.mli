@@ -30,6 +30,12 @@ val set_resolver : t -> (Sysname.t -> Partition.t) -> unit
 (** [resolver seg] is the partition that stores [seg]; it should
     raise {!Partition.No_segment} for unknown segments. *)
 
+val set_consistency : t -> (Sysname.t -> Partition.consistency) -> unit
+(** [consistency seg] is the coherence mode of [seg] (default: every
+    segment is {!Partition.One_copy}).  Frames of [Release] and
+    [Commutative] segments keep a twin — a snapshot of the page as
+    fetched — so flushes can diff or delta against it. *)
+
 val set_access_hook : t -> (Sysname.t -> int -> Partition.mode -> unit) option -> unit
 (** Hook called before every page access with (segment, page, mode);
     used by the atomicity layer to acquire segment locks and record
@@ -69,6 +75,25 @@ val install_read : t -> Sysname.t -> int -> bytes -> bool
 
 val mark_clean : t -> Sysname.t -> int -> unit
 (** Clear the dirty bit after a successful writeback/commit. *)
+
+val is_dirty : t -> Sysname.t -> int -> bool
+(** Whether the page is resident with unwritten-back writes. *)
+
+val page_base : t -> Sysname.t -> int -> bytes option
+(** Copy of the frame's twin (the page as fetched), if the segment's
+    consistency mode keeps one. *)
+
+val merge_refresh : t -> Sysname.t -> int -> bytes -> unit
+(** Overwrite a resident frame with the post-flush home image, mark
+    it clean and make the image the new twin.  No-op if the frame is
+    gone (invalidated meanwhile). *)
+
+val rebase : t -> Sysname.t -> int -> unit
+(** Re-snapshot a resident frame's twin from its current contents
+    (after a flush pushed those contents home). *)
+
+val segment_pages : t -> Sysname.t -> int list
+(** Resident page indices of a segment, sorted. *)
 
 val drop_segment : t -> Sysname.t -> unit
 (** Invalidate every frame of a segment (abort path / deletion). *)

@@ -27,3 +27,33 @@ type t = {
 }
 
 val pp_mode : Format.formatter -> mode -> unit
+
+(** {1 Consistency modes}
+
+    Per-segment coherence policy, threaded from segment creation down
+    through the DSM client/server and the MMU.  [One_copy] is the
+    paper's Li–Hudak write-invalidate protocol and the default.
+    [Release] defers copyset invalidation to the flush that ends a
+    lock scope (writes upgrade locally; the home batches one
+    invalidation burst when the dirty pages land).  [Commutative]
+    segments declare a word-wise merge operator; writes apply locally
+    with no coherence traffic and replicas exchange deltas on flush
+    boundaries. *)
+
+type merge = Add | Max
+
+type consistency = One_copy | Release | Commutative of merge
+
+val pp_merge : Format.formatter -> merge -> unit
+val pp_consistency : Format.formatter -> consistency -> unit
+
+val merge_delta : merge -> base:bytes -> current:bytes -> bytes
+(** [merge_delta op ~base ~current] encodes a replica's local writes
+    as a delta page: word-wise [current - base] for [Add], the
+    absolute [current] words for [Max].  Operates on the common
+    prefix of whole 64-bit little-endian words. *)
+
+val apply_merge : merge -> into:bytes -> bytes -> unit
+(** [apply_merge op ~into delta] combines a delta page into a home
+    copy in place: word-wise addition for [Add], word-wise maximum
+    for [Max]. *)

@@ -24,7 +24,7 @@ let with_env ?(compute = 4) ?(data = 2) f =
 
 let test_sorter_correctness () =
   with_env (fun env ->
-      let obj = Apps.Sorter.create env.sys.om ~capacity:4096 in
+      let obj = Apps.Sorter.create env.sys.om ~capacity:4096 () in
       Apps.Sorter.fill env.sys.om ~obj ~n:4096 ~seed:7;
       let sum_before = Apps.Sorter.checksum env.sys.om ~obj in
       check_bool "unsorted initially" false (Apps.Sorter.is_sorted env.sys.om ~obj);
@@ -35,7 +35,7 @@ let test_sorter_correctness () =
 
 let test_sorter_single_worker () =
   with_env (fun env ->
-      let obj = Apps.Sorter.create env.sys.om ~capacity:1024 in
+      let obj = Apps.Sorter.create env.sys.om ~capacity:1024 () in
       Apps.Sorter.fill env.sys.om ~obj ~n:1024 ~seed:3;
       let _run = Apps.Sorter.distributed_sort env.sys.om ~obj ~workers:1 in
       check_bool "sorted" true (Apps.Sorter.is_sorted env.sys.om ~obj))
@@ -46,7 +46,7 @@ let test_sorter_parallel_sort_phase_speedup () =
      computation-vs-communication trade-off) *)
   let sort_phase workers =
     with_env (fun env ->
-        let obj = Apps.Sorter.create env.sys.om ~capacity:16384 in
+        let obj = Apps.Sorter.create env.sys.om ~capacity:16384 () in
         Apps.Sorter.fill env.sys.om ~obj ~n:16384 ~seed:11;
         let run = Apps.Sorter.distributed_sort env.sys.om ~obj ~workers in
         check_bool "sorted" true (Apps.Sorter.is_sorted env.sys.om ~obj);
@@ -59,7 +59,7 @@ let test_sorter_parallel_sort_phase_speedup () =
 
 let test_sorter_odd_sizes () =
   with_env (fun env ->
-      let obj = Apps.Sorter.create env.sys.om ~capacity:1000 in
+      let obj = Apps.Sorter.create env.sys.om ~capacity:1000 () in
       Apps.Sorter.fill env.sys.om ~obj ~n:777 ~seed:5;
       ignore (Apps.Sorter.distributed_sort env.sys.om ~obj ~workers:3);
       check_bool "sorted" true (Apps.Sorter.is_sorted env.sys.om ~obj))

@@ -387,7 +387,8 @@ let test_segment_rpc_lifecycle () =
   with_cluster (fun cl ->
       let seg = Ra.Sysname.fresh cl.n1.Ra.Node.names in
       let create =
-        P.Create_segment { seg; size = Ra.Page.size }
+        P.Create_segment
+          { seg; size = Ra.Page.size; mode = Ra.Partition.One_copy }
       in
       (match
          Ratp.Endpoint.call cl.n1.Ra.Node.endpoint ~dst:1 ~service:P.service
@@ -738,6 +739,320 @@ let test_fanout_invalidation_survives_loss () =
   check_int "every reader was invalidated" 4 r.fo_invals;
   check_bool "loss forced retransmissions" true (r.fo_retrans > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Consistency modes (DESIGN.md §17) *)
+
+(* One data server, [clients] compute clients, one segment of [pages]
+   pages in [mode]. *)
+let with_mode_cluster ?(seed = 42) ?ratp_config ~mode ~pages ~clients f =
+  Sim.exec ~seed (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd = Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ?ratp_config () in
+      let server = Dsm.Dsm_server.create nd () in
+      let locate _ = 1 in
+      let consistency _ = mode in
+      let cs =
+        List.init clients (fun i ->
+            let n =
+              Ra.Node.create ether ~id:(2 + i) ~kind:Ra.Node.Compute
+                ?ratp_config ()
+            in
+            (n, Dsm.Dsm_client.create n ~locate ~consistency ()))
+      in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment
+        (Dsm.Dsm_server.store server)
+        seg
+        ~size:(pages * Ra.Page.size);
+      Dsm.Dsm_server.set_consistency server seg mode;
+      f ~ether ~server ~seg ~cs)
+
+let put_word n vs ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Ra.Mmu.write n.Ra.Node.mmu vs ~addr b
+
+let get_word n vs ~addr =
+  Int64.to_int
+    (Bytes.get_int64_le (Ra.Mmu.read n.Ra.Node.mmu vs ~addr ~len:8) 0)
+
+let test_release_defers_and_batches () =
+  let pages = 4 in
+  with_mode_cluster ~ratp_config:fast_ratp ~mode:Ra.Partition.Release ~pages
+    ~clients:2 (fun ~ether:_ ~server ~seg ~cs ->
+      let (wn, wc), (rn, _) =
+        match cs with [ w; r ] -> (w, r) | _ -> assert false
+      in
+      let vs = vspace_for seg ~pages in
+      (* the reader holds a copy of every page *)
+      for p = 0 to pages - 1 do
+        ignore (read rn vs ~addr:(p * Ra.Page.size) ~len:1)
+      done;
+      (* N writes inside the scope: no invalidation traffic at all *)
+      for p = 0 to pages - 1 do
+        put_word wn vs ~addr:(p * Ra.Page.size) (p + 1)
+      done;
+      check_int "no invalidations at fault time" 0
+        (Dsm.Dsm_server.invalidations_sent server);
+      check_int "per-copy invalidations deferred" pages
+        (Dsm.Dsm_server.deferred_invals server);
+      check_int "no flush burst yet" 0
+        (Dsm.Dsm_server.release_flush_bursts server);
+      (* the scope ends: ONE batched invalidation RPC to the reader *)
+      Dsm.Dsm_client.flush_segment wc seg;
+      check_int "one flush burst" 1
+        (Dsm.Dsm_server.release_flush_bursts server);
+      check_int "one invalidation RPC for the whole scope" 1
+        (Dsm.Dsm_server.invalidations_sent server);
+      (* release semantics: after the release, the reader sees every
+         write of the scope *)
+      for p = 0 to pages - 1 do
+        check_bool
+          (Printf.sprintf "reader copy of page %d dropped" p)
+          true
+          (Ra.Mmu.resident rn.Ra.Node.mmu seg p = None)
+      done;
+      for p = 0 to pages - 1 do
+        check_int
+          (Printf.sprintf "reader sees write to page %d" p)
+          (p + 1)
+          (get_word rn vs ~addr:(p * Ra.Page.size))
+      done)
+
+(* The headline A/B: the same scoped workload under one-copy pays one
+   invalidation RPC per (write fault x copy); release pays one per
+   copyset member per scope.  With 4 writes and 1 reader: 4 vs 1. *)
+let test_release_cuts_invalidation_rpcs () =
+  let measure mode =
+    let pages = 4 in
+    with_mode_cluster ~ratp_config:fast_ratp ~mode ~pages ~clients:2
+      (fun ~ether:_ ~server ~seg ~cs ->
+        let (wn, wc), (rn, _) =
+          match cs with [ w; r ] -> (w, r) | _ -> assert false
+        in
+        let vs = vspace_for seg ~pages in
+        for p = 0 to pages - 1 do
+          ignore (read rn vs ~addr:(p * Ra.Page.size) ~len:1)
+        done;
+        for p = 0 to pages - 1 do
+          put_word wn vs ~addr:(p * Ra.Page.size) (p + 1)
+        done;
+        Dsm.Dsm_client.flush_segment wc seg;
+        Dsm.Dsm_server.invalidations_sent server)
+  in
+  let one_copy = measure Ra.Partition.One_copy in
+  let release = measure Ra.Partition.Release in
+  check_int "one-copy pays per write fault" 4 one_copy;
+  check_int "release pays per scope" 1 release;
+  check_bool "at least 2x reduction" true (one_copy >= 2 * release)
+
+let test_release_diffs_preserve_concurrent_writes () =
+  (* two scopes write disjoint bytes of the SAME page concurrently;
+     diff-based flushing must land both at the home *)
+  with_mode_cluster ~ratp_config:fast_ratp ~mode:Ra.Partition.Release ~pages:1
+    ~clients:2 (fun ~ether:_ ~server:_ ~seg ~cs ->
+      let (n1, c1), (n2, c2) =
+        match cs with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let vs = vspace_for seg ~pages:1 in
+      put_word n1 vs ~addr:0 111;
+      put_word n2 vs ~addr:64 222;
+      (* c1's flush ends its scope; c2 still holds unflushed writes *)
+      Dsm.Dsm_client.flush_segment c1 seg;
+      Dsm.Dsm_client.flush_segment c2 seg;
+      (* a fresh read (either client) sees both writes *)
+      check_int "c2's write survived c1's flush" 222 (get_word n1 vs ~addr:64);
+      check_int "c1's write survived c2's flush" 111 (get_word n1 vs ~addr:0);
+      check_int "c2 sees c1's write too" 111 (get_word n2 vs ~addr:0);
+      check_int "c2 keeps its own write" 222 (get_word n2 vs ~addr:64))
+
+let test_commutative_converges_under_loss () =
+  (* both clients blindly increment the SAME word; frame loss and
+     reordering force RaTP retransmissions, and the server's
+     exactly-once call cache must keep Add deltas from double-applying *)
+  let n = 10 in
+  with_mode_cluster ~seed:11
+    ~mode:(Ra.Partition.Commutative Ra.Partition.Add)
+    ~pages:1 ~clients:2
+    (fun ~ether ~server ~seg ~cs ->
+      let (n1, c1), (n2, c2) =
+        match cs with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let vs = vspace_for seg ~pages:1 in
+      let fault = Net.Ethernet.fault ether in
+      Net.Fault.set_default fault
+        {
+          Net.Fault.pristine with
+          drop = 0.2;
+          reorder = 0.2;
+          reorder_by = Time.ms 5;
+        };
+      for _ = 1 to n do
+        put_word n1 vs ~addr:0 (get_word n1 vs ~addr:0 + 1);
+        put_word n2 vs ~addr:0 (get_word n2 vs ~addr:0 + 1)
+      done;
+      Dsm.Dsm_client.flush_segment c1 seg;
+      Dsm.Dsm_client.flush_segment c2 seg;
+      Net.Fault.set_default fault Net.Fault.pristine;
+      check_bool "loss actually happened" true (Net.Fault.drops fault > 0);
+      (* no coherence traffic at all: the home never arbitrated *)
+      check_int "no invalidations" 0
+        (Dsm.Dsm_server.invalidations_sent server);
+      check_int "no downgrades" 0 (Dsm.Dsm_server.downgrades_sent server);
+      check_int "two merges applied" 2 (Dsm.Dsm_server.merges_applied server);
+      (* convergence: every replica reads the sum of both increment
+         streams *)
+      Dsm.Dsm_client.drop_segment c1 seg;
+      Dsm.Dsm_client.drop_segment c2 seg;
+      check_int "c1 converged" (2 * n) (get_word n1 vs ~addr:0);
+      check_int "c2 converged" (2 * n) (get_word n2 vs ~addr:0))
+
+let test_one_copy_same_seed_identical () =
+  (* the control arm must stay byte-identical run to run: same final
+     page image, same counter values, same simulated clock *)
+  let run () =
+    with_mode_cluster ~seed:23 ~ratp_config:fast_ratp
+      ~mode:Ra.Partition.One_copy ~pages:2 ~clients:2
+      (fun ~ether:_ ~server ~seg ~cs ->
+        let (n1, c1), (n2, _) =
+          match cs with [ a; b ] -> (a, b) | _ -> assert false
+        in
+        let vs = vspace_for seg ~pages:2 in
+        for i = 0 to 9 do
+          put_word n1 vs ~addr:(8 * i) i;
+          check_int "coherent" i (get_word n2 vs ~addr:(8 * i))
+        done;
+        Dsm.Dsm_client.flush_segment c1 seg;
+        let image =
+          match
+            Store.Segment_store.read_page (Dsm.Dsm_server.store server) seg 0
+          with
+          | Ra.Partition.Data b -> Bytes.to_string b
+          | Ra.Partition.Zeroed -> ""
+        in
+        ( image,
+          Dsm.Dsm_server.invalidations_sent server,
+          Dsm.Dsm_server.downgrades_sent server,
+          Dsm.Dsm_server.pages_served server,
+          Sim.Time.to_ms_f (Sim.now ()) ))
+  in
+  let i1, inv1, down1, served1, t1 = run () in
+  let i2, inv2, down2, served2, t2 = run () in
+  Alcotest.(check string) "same page image" i1 i2;
+  check_int "same invalidations" inv1 inv2;
+  check_int "same downgrades" down1 down2;
+  check_int "same pages served" served1 served2;
+  Alcotest.(check (float 0.0)) "same clock" t1 t2
+
+(* ------------------------------------------------------------------ *)
+(* Exact copyset membership (no conservative over-registration) *)
+
+let test_drop_segment_releases_copyset () =
+  with_cluster (fun cl ->
+      let seg = new_seg cl ~pages:1 in
+      let vs = vspace_for seg ~pages:1 in
+      ignore (read cl.n2 vs ~addr:0 ~len:1);
+      check_bool "c2 registered" true
+        (List.mem 3 (Dsm.Dsm_server.copyset_of cl.server seg 0));
+      (* dropping the frames releases the registration at the home *)
+      Dsm.Dsm_client.drop_segment cl.c2 seg;
+      check_bool "c2 deregistered" false
+        (List.mem 3 (Dsm.Dsm_server.copyset_of cl.server seg 0));
+      check_int "one release RPC" 1 (Dsm.Dsm_client.copy_releases cl.c2);
+      (* the regression this pins: c1's write fault must not pay an
+         invalidation for the copy c2 no longer holds *)
+      write cl.n1 vs ~addr:0 "x";
+      check_int "no redundant invalidation" 0
+        (Dsm.Dsm_server.invalidations_sent cl.server))
+
+let test_declined_prefetch_releases_copyset () =
+  (* a frame-budget-limited client declines prefetched extras; the
+     server must not keep it registered for pages it never installed *)
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd =
+        Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:fast_ratp ()
+      in
+      let server = Dsm.Dsm_server.create nd () in
+      let locate _ = 1 in
+      let n1 =
+        Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute
+          ~ratp_config:fast_ratp ~max_frames:2 ()
+      in
+      let c1 =
+        Dsm.Dsm_client.create n1 ~locate ~prefetch_window:8 ()
+      in
+      let n2 =
+        Ra.Node.create ether ~id:3 ~kind:Ra.Node.Compute
+          ~ratp_config:fast_ratp ()
+      in
+      ignore (Dsm.Dsm_client.create n2 ~locate ());
+      let pages = 6 in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment
+        (Dsm.Dsm_server.store server)
+        seg
+        ~size:(pages * Ra.Page.size);
+      for p = 0 to pages - 1 do
+        Store.Segment_store.write_page
+          (Dsm.Dsm_server.store server)
+          seg p
+          (Bytes.make Ra.Page.size (Char.chr (97 + p)))
+      done;
+      let vs = vspace_for seg ~pages in
+      (* sequential scan: the adaptive window ships extras, but the
+         2-frame budget forces declines.  Track which pages the MMU
+         ever actually held (extras install before the fault
+         returns). *)
+      let ever_held = Array.make pages false in
+      let snapshot () =
+        for p = 0 to pages - 1 do
+          if Ra.Mmu.resident n1.Ra.Node.mmu seg p <> None then
+            ever_held.(p) <- true
+        done
+      in
+      for p = 0 to pages - 1 do
+        ignore (read n1 vs ~addr:(p * Ra.Page.size) ~len:1);
+        snapshot ()
+      done;
+      (* let the fire-and-forget Release_copies land *)
+      Sim.sleep (Time.ms 100);
+      check_bool "some installs were declined" true
+        (Dsm.Dsm_client.copy_releases c1 > 0);
+      for p = 0 to pages - 1 do
+        let registered = List.mem 2 (Dsm.Dsm_server.copyset_of server seg p) in
+        (* a copy the MMU holds must be registered (no lost
+           invalidations)... *)
+        if Ra.Mmu.resident n1.Ra.Node.mmu seg p <> None then
+          check_bool (Printf.sprintf "page %d held => registered" p) true
+            registered;
+        (* ...and a declined extra must NOT be: only pages the client
+           actually installed at some point may appear (the satellite
+           regression — before Release_copies, declines left phantom
+           registrations) *)
+        if registered then
+          check_bool
+            (Printf.sprintf "page %d registered => once held" p)
+            true ever_held.(p)
+      done;
+      (* the writer's sweep pays one invalidation per registered copy
+         — phantom registrations would inflate this fan-out *)
+      let registered =
+        List.length
+          (List.filter
+             (fun p -> List.mem 2 (Dsm.Dsm_server.copyset_of server seg p))
+             (List.init pages Fun.id))
+      in
+      let invals0 = Dsm.Dsm_server.invalidations_sent server in
+      for p = 0 to pages - 1 do
+        let b = Bytes.make 1 'z' in
+        Ra.Mmu.write n2.Ra.Node.mmu vs ~addr:(p * Ra.Page.size) b
+      done;
+      check_int "fan-out matches registered copies" registered
+        (Dsm.Dsm_server.invalidations_sent server - invals0))
+
 let () =
   Alcotest.run "dsm"
     [
@@ -779,6 +1094,26 @@ let () =
             test_fanout_invalidation_survives_loss;
         ] );
       qsuite "coherence-props" [ prop_one_copy_semantics ];
+      ( "modes",
+        [
+          Alcotest.test_case "release defers and batches" `Quick
+            test_release_defers_and_batches;
+          Alcotest.test_case "release cuts invalidation rpcs" `Quick
+            test_release_cuts_invalidation_rpcs;
+          Alcotest.test_case "release diffs preserve concurrent writes" `Quick
+            test_release_diffs_preserve_concurrent_writes;
+          Alcotest.test_case "commutative converges under loss" `Quick
+            test_commutative_converges_under_loss;
+          Alcotest.test_case "one-copy same seed identical" `Quick
+            test_one_copy_same_seed_identical;
+        ] );
+      ( "copyset",
+        [
+          Alcotest.test_case "drop segment releases copyset" `Quick
+            test_drop_segment_releases_copyset;
+          Alcotest.test_case "declined prefetch releases copyset" `Quick
+            test_declined_prefetch_releases_copyset;
+        ] );
       ( "locks",
         [
           Alcotest.test_case "shared and exclusive" `Quick

@@ -211,6 +211,55 @@ let test_transport_acceptance () =
     true
     (b.local_ms < b.remote_ms)
 
+let quick_consistency () =
+  Experiments.Consistency.run ~pages:4 ~copysets:[ 2 ] ~counter_clients:2
+    ~increments:8 ~elements:1024 ~workers:2 ()
+
+let test_consistency_acceptance () =
+  let r = quick_consistency () in
+  let open Experiments.Consistency in
+  (* grid shape: one-copy and release at each copyset, two counter
+     modes, two sort arms *)
+  check_bool "two scoped points" true (List.length r.scoped = 2);
+  check_bool "two counter points" true (List.length r.counters = 2);
+  check_bool "two sort arms" true (List.length r.sort = 2);
+  let scoped m =
+    List.find (fun (p : scoped_point) -> p.mode = m) r.scoped
+  in
+  let oc = scoped "one-copy" and rel = scoped "release" in
+  (* one-copy pays an invalidation RPC per (write fault x copy);
+     release defers them all into one burst per copyset member *)
+  check_bool "one-copy invalidates at fault time" true (oc.deferred = 0);
+  check_bool "release defers every per-copy invalidation" true
+    (rel.deferred = oc.inval_rpcs);
+  check_bool
+    (Printf.sprintf "release cuts invalidation RPCs %d -> %d (>= 2x)"
+       oc.inval_rpcs rel.inval_rpcs)
+    true
+    (rel.inval_rpcs > 0 && oc.inval_rpcs >= 2 * rel.inval_rpcs);
+  let counter m =
+    List.find (fun (p : counter_point) -> p.mode = m) r.counters
+  in
+  let c_oc = counter "one-copy" and c_add = counter "commutative(add)" in
+  (* both arms must converge; only commutative does it without any
+     coherence traffic, paying one merge RPC per client flush *)
+  check_bool "one-copy counters converge" true c_oc.converged;
+  check_bool "commutative counters converge" true c_add.converged;
+  check_bool "one-copy ping-pongs ownership" true (c_oc.stalls > 0);
+  check_bool "commutative has zero coherence stalls" true (c_add.stalls = 0);
+  check_bool "one merge rpc per client" true
+    (c_add.merge_rpcs = c_add.clients);
+  (* the sort is correct under both modes (asserted inside sort_point)
+     and release must not pay more invalidation RPCs than one-copy *)
+  let sort m = List.find (fun (p : sort_point) -> p.mode = m) r.sort in
+  check_bool "release sort invalidates no more than one-copy" true
+    ((sort "release").inval_rpcs <= (sort "one-copy").inval_rpcs)
+
+let test_consistency_deterministic () =
+  (* fixed-seed simulations end to end: byte-identical grids *)
+  check_bool "identical results" true
+    (quick_consistency () = quick_consistency ())
+
 let test_transport_deterministic () =
   let run () =
     Experiments.Transport.run ~losses:[ 5 ] ~sizes:[ 8192; 65536 ] ~calls:2
@@ -251,5 +300,12 @@ let () =
             test_transport_acceptance;
           Alcotest.test_case "deterministic" `Quick
             test_transport_deterministic;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "mode A/B acceptance" `Quick
+            test_consistency_acceptance;
+          Alcotest.test_case "deterministic" `Quick
+            test_consistency_deterministic;
         ] );
     ]

@@ -117,6 +117,89 @@ let test_registry_snapshot () =
     [ ("cache/hits", 7) ]
     (Registry.totals [ r ])
 
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_dsm_mode_metrics_exported () =
+  (* the relaxed-consistency DSM counters surface in the per-node
+     registries (and hence obs_metrics.json): a one-scope release
+     workload and a two-client commutative merge leave exact
+     dsm/mode/* totals behind *)
+  let totals, json =
+    Sim.exec ~seed:5 (fun () ->
+        let eng = Sim.engine () in
+        let sys = Clouds.boot eng ~compute:2 ~data:1 ~workstations:0 () in
+        let cl = sys.Clouds.cluster in
+        let server = cl.Clouds.Cluster.servers.(0) in
+        let data_node = cl.Clouds.Cluster.data_nodes.(0) in
+        let mk mode =
+          let seg = Ra.Sysname.fresh data_node.Ra.Node.names in
+          Store.Segment_store.create_segment
+            (Dsm.Dsm_server.store server)
+            seg ~size:Ra.Page.size;
+          Clouds.Cluster.add_segment cl seg data_node.Ra.Node.id;
+          Clouds.Cluster.set_consistency cl seg mode;
+          seg
+        in
+        let vsp seg =
+          let vs = Ra.Virtual_space.create () in
+          Ra.Virtual_space.map vs ~base:0 ~len:Ra.Page.size
+            ~prot:Ra.Virtual_space.Read_write seg;
+          vs
+        in
+        let put n vs v =
+          let b = Bytes.create 8 in
+          Bytes.set_int64_le b 0 (Int64.of_int v);
+          Ra.Mmu.write n.Ra.Node.mmu vs ~addr:0 b
+        in
+        let get n vs =
+          Bytes.get_int64_le (Ra.Mmu.read n.Ra.Node.mmu vs ~addr:0 ~len:8) 0
+        in
+        let n0 = cl.Clouds.Cluster.compute_nodes.(0)
+        and n1 = cl.Clouds.Cluster.compute_nodes.(1) in
+        let c0 = cl.Clouds.Cluster.clients.(0)
+        and c1 = cl.Clouds.Cluster.clients.(1) in
+        (* release: a reader holds a copy, so the writer's fault defers
+           one per-copy invalidation and the flush sends one burst *)
+        let rel = mk Ra.Partition.Release in
+        let rvs = vsp rel in
+        ignore (get n1 rvs);
+        put n0 rvs 41;
+        Dsm.Dsm_client.flush_segment c0 rel;
+        (* commutative: both clients write blind, each flush ships one
+           merge delta that the home applies *)
+        let com = mk (Ra.Partition.Commutative Ra.Partition.Add) in
+        let cvs = vsp com in
+        put n0 cvs 1;
+        put n1 cvs 2;
+        Dsm.Dsm_client.flush_segment c0 com;
+        Dsm.Dsm_client.flush_segment c1 com;
+        let regs = Clouds.Telemetry.registries ~om:sys.Clouds.om cl in
+        (Registry.totals regs, Registry.snapshot_json regs))
+  in
+  let total path =
+    match List.assoc_opt path totals with Some n -> n | None -> -1
+  in
+  check_int "one deferred per-copy invalidation" 1
+    (total "dsm/mode/deferred_invals");
+  check_int "one release flush burst" 1 (total "dsm/mode/release_flush_bursts");
+  check_int "both merge deltas applied at the home" 2
+    (total "dsm/mode/merges_applied");
+  check_int "one merge rpc per client flush" 2 (total "dsm/mode/merge_rpcs");
+  Alcotest.(check bool)
+    "copy_releases counter registered" true
+    (List.mem_assoc "dsm/mode/copy_releases" totals);
+  (* the flush-batch histogram has no integer total but must appear in
+     the JSON snapshot, which itself must parse *)
+  Alcotest.(check bool)
+    "flush-batch histogram exported" true
+    (contains json "dsm/mode/release_flush_batch");
+  match Export.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "registry snapshot does not parse: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: traced load cells *)
 
@@ -211,7 +294,11 @@ let () =
             test_validate_chrome_rejects;
         ] );
       ( "registry",
-        [ Alcotest.test_case "snapshot and totals" `Quick test_registry_snapshot ] );
+        [
+          Alcotest.test_case "snapshot and totals" `Quick test_registry_snapshot;
+          Alcotest.test_case "dsm mode counters exported" `Quick
+            test_dsm_mode_metrics_exported;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "tracing does not perturb" `Quick
