@@ -28,6 +28,12 @@ type t = {
       (* release-mode pages we kept through an Inval_batch because
          they held unflushed local writes; their unmodified bytes are
          stale, so our own flush drops the frame instead of rebasing *)
+  releasing : (Ra.Sysname.t * int, unit Sim.Ivar.t) Hashtbl.t;
+      (* pages with a Release_copies RPC in flight: a fault on one of
+         them waits for the release to land first, because the home
+         keeps ONE registration per client — a release arriving after
+         a re-fault re-registered would deregister the new live copy
+         and it would miss every later invalidation *)
   fetches : Sim.Stats.counter;
   puts : Sim.Stats.counter;
   invals : Sim.Stats.counter;
@@ -124,39 +130,86 @@ let call t ~dst body =
   Ratp.Endpoint.call t.node.Ra.Node.endpoint ~dst ~service:P.service
     ~size:(P.request_bytes body) body
 
+(* Send Release_copies for [pages], none of which this client holds a
+   copy of any more, and gate later faults on the same pages until the
+   home has processed it (see [releasing]).  [wait] keeps the caller
+   blocked until the release lands; [false] runs it in a spawned
+   fiber, off the fault's critical path. *)
+let send_release t ~home ~wait pages =
+  if pages <> [] then begin
+    Sim.Stats.incr t.releases;
+    let iv = Sim.Ivar.create () in
+    List.iter (fun k -> Hashtbl.replace t.releasing k iv) pages;
+    let send () =
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt t.releasing k with
+              | Some iv' when iv' == iv -> Hashtbl.remove t.releasing k
+              | Some _ | None -> ())
+            pages;
+          Sim.Ivar.fill iv ())
+        (fun () ->
+          (* pure bookkeeping: a timed-out release leaves a phantom
+             registration behind, which only costs the next write
+             fault one redundant Invalidate *)
+          try ignore (call t ~dst:home (P.Release_copies pages))
+          with _ -> ())
+    in
+    if wait then send ()
+    else ignore (Ra.Node.spawn t.node "dsm-release-copies" (fun () -> send ()))
+  end
+
 (* Install the speculative read copies that rode a demand reply.  A
    page whose invalidation epoch advanced past [epoch0] (snapshotted
    before the request went out) was written while the reply was in
-   flight: its image is stale and is dropped.  The server registered
-   us in every shipped page's copyset before the reply left, so each
-   copy we decline — stale, or rejected by the MMU (resident,
-   in-flight fault, frame budget) — would leave a phantom
-   registration behind and cost the next write fault one redundant
-   Invalidate.  A single fire-and-forget Release_copies RPC keeps the
-   membership exact; it is off the fault's critical path. *)
+   flight: its image is stale and is dropped — and needs no release,
+   because the invalidation that outran it already deregistered us at
+   the home.  Of the MMU's declines, only the frame-budget one leaves
+   no copy on this node; a decline because the page is resident (or a
+   demand fault on it is in flight) keeps a live copy whose copyset
+   entry at the home is the same single registration the extra made —
+   releasing it would let the next writer skip this client and leave
+   it serving stale data forever.  So exactly the no-copy declines go
+   out in one Release_copies RPC, keeping the membership exact. *)
 let install_extras t ~home ~seg ~epoch0 extras =
   let mmu = t.node.Ra.Node.mmu in
-  let declined =
-    List.filter
+  let no_copy =
+    List.filter_map
       (fun (p, data) ->
         let stale =
           match Hashtbl.find_opt t.page_epochs (seg, p) with
           | Some e -> e > epoch0
           | None -> false
         in
-        stale || not (Ra.Mmu.install_read mmu seg p data))
+        if stale then None
+        else if Hashtbl.mem t.releasing (seg, p) then
+          (* an older release for this page is still in flight and
+             could undo an install when it lands, so decline and fold
+             the reply's fresh registration into a new release *)
+          Some (seg, p)
+        else
+          match Ra.Mmu.install_read mmu seg p data with
+          | Ra.Mmu.Installed | Ra.Mmu.Retained -> None
+          | Ra.Mmu.No_copy -> Some (seg, p))
       extras
   in
-  if declined <> [] then begin
-    let pages = List.map (fun (p, _) -> (seg, p)) declined in
-    Sim.Stats.incr t.releases;
-    ignore
-      (Ra.Node.spawn t.node "dsm-release-copies" (fun () ->
-           ignore (call t ~dst:home (P.Release_copies pages))))
-  end
+  send_release t ~home ~wait:false no_copy
 
 let remote_fetch t ~seg ~page ~mode =
  Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.fetch" @@ fun () ->
+  (* a Release_copies covering this page may still be in flight; let
+     it land before this fetch re-registers us, or it would wipe the
+     new registration when it arrives *)
+  let rec drain () =
+    match Hashtbl.find_opt t.releasing (seg, page) with
+    | Some iv ->
+        Sim.Ivar.read iv;
+        drain ()
+    | None -> ()
+  in
+  drain ();
   let home = locate_cached t seg in
   Sim.Stats.incr t.fetches;
   let mode =
@@ -262,6 +315,7 @@ let create node ~locate ?(consistency = fun _ -> Ra.Partition.One_copy)
       inval_epoch = 0;
       page_epochs = Hashtbl.create 64;
       stale_dirty = Hashtbl.create 16;
+      releasing = Hashtbl.create 8;
       fetches = Sim.Stats.counter "dsmc.fetches";
       puts = Sim.Stats.counter "dsmc.puts";
       invals = Sim.Stats.counter "dsmc.invals";
@@ -361,6 +415,9 @@ let flush_release t seg dirty =
             Ra.Mmu.rebase mmu seg page
           end)
         dirty
+  | Ok P.Segment_error ->
+      forget_location t seg;
+      raise (Ra.Partition.No_segment seg)
   | Ok _ -> raise (Unavailable seg)
   | Error Ratp.Endpoint.Timeout ->
       forget_location t seg;
@@ -369,7 +426,12 @@ let flush_release t seg dirty =
 (* Commutative flush: encode the local writes as merge deltas against
    each page's twin and let the home combine them; the reply carries
    the post-merge images, so anti-entropy (pulling everyone else's
-   merged counters) rides the same round trip. *)
+   merged counters) rides the same round trip.  Each delta carries its
+   twin's stamp as an idempotency key: on a timeout the pages stay
+   dirty against an unchanged twin, so the re-sent flush repeats the
+   stamp and the home applies only what its first application missed
+   — a lost reply cannot double-count an Add delta.  Only success
+   refreshes the twin (and thus allocates a fresh stamp). *)
 let flush_merges t seg op dirty =
  Obs.Tracer.with_span ~node:t.node.Ra.Node.id "dsm.merge" @@ fun () ->
   let mmu = t.node.Ra.Node.mmu in
@@ -383,7 +445,10 @@ let flush_merges t seg op dirty =
           | Some b -> b
           | None -> Bytes.make (Bytes.length data) '\000'
         in
-        (seg, page, Ra.Partition.merge_delta op ~base ~current:data))
+        ( seg,
+          page,
+          Ra.Mmu.twin_stamp mmu seg page,
+          Ra.Partition.merge_delta op ~base ~current:data ))
       dirty
   in
   match call t ~dst:home (P.Merge_delta deltas) with
@@ -391,6 +456,9 @@ let flush_merges t seg op dirty =
       List.iter
         (fun (s, page, img) -> Ra.Mmu.merge_refresh mmu s page img)
         images
+  | Ok P.Segment_error ->
+      forget_location t seg;
+      raise (Ra.Partition.No_segment seg)
   | Ok _ -> raise (Unavailable seg)
   | Error Ratp.Endpoint.Timeout ->
       forget_location t seg;
@@ -431,20 +499,18 @@ let flush_segment t seg =
 (* Dropping a segment's frames also drops our copyset registrations
    at the home; telling it (one RPC, errors swallowed — this is pure
    bookkeeping) keeps the copysets exact so no later write fault pays
-   a redundant Invalidate for copies we no longer hold. *)
+   a redundant Invalidate for copies we no longer hold.  The release
+   completes before this returns, so a refetch cannot race it. *)
 let drop_segment t seg =
   let mmu = t.node.Ra.Node.mmu in
   let pages = Ra.Mmu.segment_pages mmu seg in
   List.iter (fun p -> Hashtbl.remove t.stale_dirty (seg, p)) pages;
   Ra.Mmu.drop_segment mmu seg;
-  if pages <> [] && not (is_local t seg) then begin
-    Sim.Stats.incr t.releases;
+  if pages <> [] && not (is_local t seg) then
     try
-      ignore
-        (call t ~dst:(locate_cached t seg)
-           (P.Release_copies (List.map (fun p -> (seg, p)) pages)))
+      send_release t ~home:(locate_cached t seg) ~wait:true
+        (List.map (fun p -> (seg, p)) pages)
     with _ -> ()
-  end
 
 let remote_fetches t = Sim.Stats.value t.fetches
 let put_rpcs t = Sim.Stats.value t.puts

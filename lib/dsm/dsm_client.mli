@@ -111,8 +111,12 @@ val merge_flushes : t -> int
 (** [Merge_delta] RPCs sent for commutative segments. *)
 
 val copy_releases : t -> int
-(** [Release_copies] RPCs sent (declined prefetch installs and
-    segment drops) to keep copysets exact. *)
+(** [Release_copies] RPCs sent to keep copysets exact: only for
+    copies this node truly no longer holds (budget-rejected prefetch
+    installs, segment drops) — never for a decline that keeps a live
+    copy resident.  Faults on a page with a release in flight wait
+    for it to land, so a release can never erase a newer
+    registration. *)
 
 val metrics : t -> (string * Obs.Registry.metric) list
 (** Live metric handles under ["dsmc/"] paths, for a per-node

@@ -47,6 +47,12 @@ type t = {
   warmed : unit Ra.Sysname.Table.t;
       (* segments whose backing file has been read at least once; the
          first touch pays a disk read (cold buffer cache) *)
+  merge_applied : (Net.Address.t * Ra.Sysname.t * int, int * bytes) Hashtbl.t;
+      (* last (twin-stamp, delta) combined per (client, page): a
+         Merge_delta re-sent after a client-visible timeout repeats
+         its stamp, and only the difference against the recorded
+         delta is applied — the transport's exactly-once cache only
+         dedups retransmits of the same call, not a fresh call *)
   prepared : prep_entry Txn_table.t;
   presume_abort_after : Sim.Time.span;
   checkpoint_every : Sim.Time.span option;
@@ -511,8 +517,13 @@ let handle_commit t ~src txn =
       Txn_table.remove t.prepared txn;
       Sim.Stats.incr t.commit_count;
       release_txn_everywhere t txn;
-      release_flush t writes ~except:src;
+      (* the deferred-invalidation burst waits for durability: it
+         makes remote nodes refetch these pages, and a crash before
+         the group flush would un-commit writes they had already
+         observed (the non-group path orders the same way — its
+         synchronous append precedes the burst) *)
       Store.Wal.wait_durable t.wal lsn;
+      release_flush t writes ~except:src;
       mirror_writes t writes;
       P.Txn_done
   | Some { writes; _ } ->
@@ -579,12 +590,19 @@ let handle t ~src body =
   | P.Put_diffs entries ->
       (* release-mode writeback: apply each page's changed byte spans
          over the current store image, so concurrent lock scopes
-         writing disjoint bytes of one page never clobber each other *)
-      let images =
-        List.filter_map
-          (fun (seg, page, spans) ->
-            if not (Store.Segment_store.exists t.store seg) then None
-            else begin
+         writing disjoint bytes of one page never clobber each other.
+         A missing segment fails the whole batch up front — silently
+         dropping entries would let the client mark those pages clean
+         and lose the writes (Put_page parity). *)
+      if
+        List.exists
+          (fun (seg, _, _) -> not (Store.Segment_store.exists t.store seg))
+          entries
+      then P.Segment_error
+      else begin
+        let images =
+          List.map
+            (fun (seg, page, spans) ->
               let cur =
                 match Store.Segment_store.read_page t.store seg page with
                 | Ra.Partition.Data b -> b
@@ -598,44 +616,74 @@ let handle t ~src body =
                   if off >= 0 && len > 0 then Bytes.blit b 0 cur off len)
                 spans;
               Store.Segment_store.write_page t.store seg page cur;
-              Some (seg, page, cur)
-            end)
-          entries
-      in
-      release_flush t images ~except:src;
-      mirror_writes t images;
-      P.Batch_ok
+              (seg, page, cur))
+            entries
+        in
+        release_flush t images ~except:src;
+        mirror_writes t images;
+        P.Batch_ok
+      end
   | P.Merge_delta deltas ->
       (* commutative flush: combine each delta into the home image
          under the segment's merge operator and return the post-merge
          images so the replica refreshes.  The transport's
-         exactly-once call cache absorbs duplicate deliveries, so an
-         Add delta is never applied twice. *)
-      let merged =
-        List.filter_map
-          (fun (seg, page, delta) ->
-            if not (Store.Segment_store.exists t.store seg) then None
-            else begin
+         exactly-once call cache absorbs retransmits of one call; the
+         twin-stamp absorbs the other duplicate path — a fresh call
+         re-sent after a client-visible timeout whose first copy did
+         land.  On a repeated stamp only the difference against the
+         recorded delta is applied ([merge_delta] computes exactly
+         that: new minus recorded for Add, the absolute values
+         themselves for the idempotent Max), so nothing is ever
+         counted twice.  A missing segment fails the whole batch so
+         the client never marks those pages clean. *)
+      if
+        List.exists
+          (fun (seg, _, _, _) -> not (Store.Segment_store.exists t.store seg))
+          deltas
+      then P.Segment_error
+      else begin
+        let merged =
+          List.map
+            (fun (seg, page, stamp, delta) ->
               let op =
                 match consistency_of t seg with
                 | Ra.Partition.Commutative op -> op
                 | Ra.Partition.One_copy | Ra.Partition.Release ->
                     Ra.Partition.Max
               in
+              let effective =
+                if stamp = 0 then Some delta (* no twin: never dedup *)
+                else begin
+                  let key = (src, seg, page) in
+                  match Hashtbl.find_opt t.merge_applied key with
+                  | Some (s, prev) when s = stamp ->
+                      Hashtbl.replace t.merge_applied key (stamp, delta);
+                      Some (Ra.Partition.merge_delta op ~base:prev ~current:delta)
+                  | Some (s, _) when s > stamp ->
+                      (* superseded by this client's own later flush *)
+                      None
+                  | Some _ | None ->
+                      Hashtbl.replace t.merge_applied key (stamp, delta);
+                      Some delta
+                end
+              in
               let into =
                 match Store.Segment_store.read_page t.store seg page with
                 | Ra.Partition.Data b -> b
                 | Ra.Partition.Zeroed -> Bytes.make Ra.Page.size '\000'
               in
-              Ra.Partition.apply_merge op ~into delta;
-              Store.Segment_store.write_page t.store seg page into;
-              Sim.Stats.incr t.merges;
-              Some (seg, page, into)
-            end)
-          deltas
-      in
-      mirror_writes t merged;
-      P.Merged merged
+              (match effective with
+              | Some d ->
+                  Ra.Partition.apply_merge op ~into d;
+                  Store.Segment_store.write_page t.store seg page into;
+                  Sim.Stats.incr t.merges
+              | None -> ());
+              (seg, page, into))
+            deltas
+        in
+        mirror_writes t merged;
+        P.Merged merged
+      end
   | P.Release_copies pages ->
       (* exact copyset maintenance: the client dropped these copies
          on its own, so forget it — the next write fault then skips
@@ -714,6 +762,13 @@ let handle t ~src body =
   | P.Delete_segment seg ->
       Store.Segment_store.delete_segment t.store seg;
       Ra.Sysname.Table.remove t.modes seg;
+      let doomed =
+        Hashtbl.fold
+          (fun ((_, s, _) as k) _ acc ->
+            if Ra.Sysname.equal s seg then k :: acc else acc)
+          t.merge_applied []
+      in
+      List.iter (Hashtbl.remove t.merge_applied) doomed;
       Hashtbl.iter
         (fun (s, _) st ->
           if Ra.Sysname.equal s seg then begin
@@ -773,6 +828,7 @@ let create node ?disk_config ?(presume_abort_after = Sim.Time.sec 60)
       mirrors = (fun _ -> []);
       modes = Ra.Sysname.Table.create 16;
       warmed = Ra.Sysname.Table.create 64;
+      merge_applied = Hashtbl.create 16;
       prepared = Txn_table.create 8;
       presume_abort_after;
       checkpoint_every;

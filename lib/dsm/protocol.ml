@@ -77,11 +77,18 @@ type Ratp.Packet.body +=
           bytes) that changed against the twin.  Sub-page application
           keeps concurrent writers to disjoint bytes of one page from
           clobbering each other (the classic twin/diff trick). *)
-  | Merge_delta of write_set
-      (** Commutative flush: per page, the word-wise delta of the
-          replica's writes against its twin.  The home combines it
-          under the segment's merge operator; duplicate delivery is
-          absorbed by the transport's exactly-once call cache. *)
+  | Merge_delta of (Ra.Sysname.t * int * int * bytes) list
+      (** Commutative flush: per page, (segment, page, twin-stamp,
+          delta) where the delta is the word-wise difference of the
+          replica's writes against its twin and the stamp is the
+          client's never-reused id for that twin.  Retransmits of one
+          call are absorbed by the transport's exactly-once cache;
+          the stamp covers the other duplicate path — a fresh call
+          re-sent after a client-visible timeout whose first copy did
+          land.  The home remembers per (client, page) the last
+          (stamp, delta) applied and, on a repeated stamp, applies
+          only the difference against the recorded delta, so an Add
+          delta is never counted twice. *)
   | Merged of write_set
       (** Post-merge home images, returned so the flushing replica
           refreshes its copy (anti-entropy rides the flush reply). *)
@@ -148,7 +155,11 @@ let request_bytes = function
             (fun acc (_, data) -> acc + 8 + Bytes.length data)
             (acc + 24) spans)
         48 entries
-  | Merge_delta ws | Merged ws -> 48 + write_set_bytes ws
+  | Merge_delta ds ->
+      List.fold_left
+        (fun acc (_, _, _, delta) -> acc + 32 + Bytes.length delta)
+        48 ds
+  | Merged ws -> 48 + write_set_bytes ws
   | _ -> 64
 
 let txn_compare a b =

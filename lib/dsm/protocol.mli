@@ -86,15 +86,20 @@ type Ratp.Packet.body +=
   | Put_diffs of (Ra.Sysname.t * int * (int * bytes) list) list
       (** release-mode writeback: per page, the (offset, bytes) spans
           changed against the twin, applied sub-page at the home *)
-  | Merge_delta of write_set
-      (** commutative flush: word-wise deltas against the twin,
-          combined at the home under the segment's merge operator *)
+  | Merge_delta of (Ra.Sysname.t * int * int * bytes) list
+      (** commutative flush: per page (segment, page, twin-stamp,
+          delta) — word-wise deltas against the twin, combined at the
+          home under the segment's merge operator.  The twin-stamp is
+          the idempotency key: a flush re-sent after a client-visible
+          timeout repeats the stamp, and the home applies only the
+          difference against what it already recorded for it, so Add
+          deltas are never applied twice *)
   | Merged of write_set
       (** post-merge home images returned to the flushing replica *)
   | Release_copies of (Ra.Sysname.t * int) list
       (** exact copyset maintenance: the client dropped these page
-          copies on its own (rejected prefetch install, stale extra,
-          segment drop), so the home deletes it from the copysets *)
+          copies on its own (budget-rejected prefetch install, segment
+          drop), so the home deletes it from the copysets *)
 
 val service : int
 (** RaTP service id of DSM servers. *)

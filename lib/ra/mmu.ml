@@ -12,7 +12,19 @@ type frame = {
          against it so concurrent writers to disjoint bytes of one
          page don't clobber each other; commutative flushes encode
          their merge delta against it. *)
+  mutable base_stamp : int;
+      (* node-unique id of the twin snapshot, never reused (a fresh
+         one per [snapshot_base]).  Commutative flushes send it as the
+         idempotency key for their delta: a re-sent flush repeats the
+         stamp only while the twin it diffed against is unchanged. *)
 }
+
+type install =
+  | Installed
+  | Retained
+      (* declined, but this node holds a registered copy (resident) or
+         a demand fault in flight will register one *)
+  | No_copy  (* declined with nothing kept: frame budget *)
 
 type t = {
   params : Params.t;
@@ -25,6 +37,7 @@ type t = {
   inflight : (Sysname.t * int, unit Sim.Ivar.t) Hashtbl.t;
   poisoned : (Sysname.t * int, unit) Hashtbl.t;
   mutable hook : (Sysname.t -> int -> Partition.mode -> unit) option;
+  mutable twin_clock : int;  (* allocator for [base_stamp] *)
   mutable faults : int;
   mutable zero_fills : int;
   mutable upgrades : int;
@@ -45,6 +58,7 @@ let create ?(max_frames = max_int) ~params ~cpu () =
     inflight = Hashtbl.create 8;
     poisoned = Hashtbl.create 8;
     hook = None;
+    twin_clock = 0;
     faults = 0;
     zero_fills = 0;
     upgrades = 0;
@@ -63,7 +77,9 @@ let snapshot_base t seg frame =
   match t.consistency seg with
   | Partition.One_copy -> ()
   | Partition.Release | Partition.Commutative _ ->
-      frame.base <- Some (Page.copy frame.data)
+      t.twin_clock <- t.twin_clock + 1;
+      frame.base <- Some (Page.copy frame.data);
+      frame.base_stamp <- t.twin_clock
 
 let touch_frame t frame =
   t.access_clock <- t.access_clock + 1;
@@ -146,12 +162,20 @@ let rec ensure_resident ?(backoff = Sim.Time.of_ms_f 4.0) t seg page need =
                       dirty = false;
                       last_used = 0;
                       base = None;
+                      base_stamp = 0;
                     }
                 | Partition.Data b ->
                     Cpu.consume t.cpu ~key:self t.params.Params.fault_copy;
                     let data = Page.zero () in
                     Bytes.blit b 0 data 0 (min (Bytes.length b) Page.size);
-                    { mode = need; data; dirty = false; last_used = 0; base = None }
+                    {
+                      mode = need;
+                      data;
+                      dirty = false;
+                      last_used = 0;
+                      base = None;
+                      base_stamp = 0;
+                    }
               in
               snapshot_base t seg frame;
               touch_frame t frame;
@@ -260,18 +284,22 @@ let downgrade t seg page =
 
 (* Install a speculative read copy shipped alongside a demand fetch.
    Speculation must never displace demand-loaded frames or race a
-   fault already in flight, so the install is skipped (returning
-   false) when the page is resident, being fetched, poisoned by a
-   concurrent invalidation, or the node is at its frame budget.  No
-   CPU is charged: the copy rode an existing reply. *)
+   fault already in flight, so the install is declined when the page
+   is resident, being fetched, poisoned by a concurrent invalidation,
+   or the node is at its frame budget.  The result says what the
+   decline left behind: [Retained] when this node still holds (or the
+   in-flight fault will install and register) a copy, [No_copy] when
+   nothing was kept — the caller releases its copyset registration
+   only in the latter case.  No CPU is charged: the copy rode an
+   existing reply. *)
 let install_read t seg page data =
   let key = (seg, page) in
   if
     Hashtbl.mem t.frames key
     || Hashtbl.mem t.inflight key
     || Hashtbl.mem t.poisoned key
-    || Hashtbl.length t.frames >= t.max_frames
-  then false
+  then Retained
+  else if Hashtbl.length t.frames >= t.max_frames then No_copy
   else begin
     let page_data = Page.zero () in
     Bytes.blit data 0 page_data 0 (min (Bytes.length data) Page.size);
@@ -282,13 +310,14 @@ let install_read t seg page data =
         dirty = false;
         last_used = 0;
         base = None;
+        base_stamp = 0;
       }
     in
     snapshot_base t seg frame;
     touch_frame t frame;
     Hashtbl.replace t.frames key frame;
     t.prefetches <- t.prefetches + 1;
-    true
+    Installed
   end
 
 let mark_clean t seg page =
@@ -305,6 +334,11 @@ let page_base t seg page =
   match Hashtbl.find_opt t.frames (seg, page) with
   | Some { base = Some b; _ } -> Some (Page.copy b)
   | _ -> None
+
+let twin_stamp t seg page =
+  match Hashtbl.find_opt t.frames (seg, page) with
+  | Some { base = Some _; base_stamp; _ } -> base_stamp
+  | _ -> 0
 
 (* After a relaxed-mode flush: the home now holds this image, so it
    becomes the frame's new twin (and, for commutative refresh, its

@@ -64,14 +64,25 @@ val invalidate : t -> Sysname.t -> int -> bytes option
 val downgrade : t -> Sysname.t -> int -> bytes option
 (** Demote a write frame to read mode, returning the data if dirty. *)
 
-val install_read : t -> Sysname.t -> int -> bytes -> bool
+type install =
+  | Installed  (** the image is now a clean resident read copy *)
+  | Retained
+      (** declined, but this node keeps a live claim on the page: it
+          is already resident, or a demand fault in flight will
+          install (and register) a copy when it completes.  The
+          copyset registration at the server is still needed. *)
+  | No_copy
+      (** declined with nothing kept (frame budget): the caller
+          should release its copyset registration for the page. *)
+
+val install_read : t -> Sysname.t -> int -> bytes -> install
 (** Install a prefetched page image as a clean read copy without
-    charging fault costs.  Returns false (and installs nothing) if
-    the page is already resident, a fault on it is in flight, it was
-    invalidated while the carrying reply was in transit, or the node
-    is at its frame budget — speculation never evicts demand-loaded
+    charging fault costs.  Declines ([Retained]) if the page is
+    already resident or a fault on it is in flight, and ([No_copy])
+    at the frame budget — speculation never evicts demand-loaded
     frames.  The caller must already hold a copyset registration for
-    the page at its server. *)
+    the page at its server, and should keep it exactly when the
+    result is not [No_copy]. *)
 
 val mark_clean : t -> Sysname.t -> int -> unit
 (** Clear the dirty bit after a successful writeback/commit. *)
@@ -82,6 +93,13 @@ val is_dirty : t -> Sysname.t -> int -> bool
 val page_base : t -> Sysname.t -> int -> bytes option
 (** Copy of the frame's twin (the page as fetched), if the segment's
     consistency mode keeps one. *)
+
+val twin_stamp : t -> Sysname.t -> int -> int
+(** Node-unique id of the frame's current twin snapshot (0 when the
+    frame is gone or keeps no twin).  Stamps are never reused, so a
+    commutative flush can use them as the idempotency key for its
+    deltas: the stamp repeats exactly when a flush is re-sent against
+    an unchanged twin after a client-visible timeout. *)
 
 val merge_refresh : t -> Sysname.t -> int -> bytes -> unit
 (** Overwrite a resident frame with the post-flush home image, mark

@@ -1053,6 +1053,122 @@ let test_declined_prefetch_releases_copyset () =
       check_int "fan-out matches registered copies" registered
         (Dsm.Dsm_server.invalidations_sent server - invals0))
 
+let test_resident_extra_decline_keeps_registration () =
+  (* streaming prefetch re-ships a page the client already holds (a
+     scan that jumps back re-enters a stretch it has resident).  The
+     declined install keeps a live copy whose copyset entry at the
+     home is the same single registration the extra made — it must
+     NOT be released, or the next writer's invalidation skips this
+     client and it serves stale data forever *)
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd =
+        Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:fast_ratp ()
+      in
+      let server = Dsm.Dsm_server.create nd () in
+      let locate _ = 1 in
+      let n2 =
+        Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute
+          ~ratp_config:fast_ratp ()
+      in
+      let c2 = Dsm.Dsm_client.create n2 ~locate ~prefetch_window:8 () in
+      let n3 =
+        Ra.Node.create ether ~id:3 ~kind:Ra.Node.Compute
+          ~ratp_config:fast_ratp ()
+      in
+      ignore (Dsm.Dsm_client.create n3 ~locate ());
+      let pages = 4 in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment
+        (Dsm.Dsm_server.store server)
+        seg
+        ~size:(pages * Ra.Page.size);
+      for p = 0 to pages - 1 do
+        Store.Segment_store.write_page
+          (Dsm.Dsm_server.store server)
+          seg p
+          (Bytes.make Ra.Page.size (Char.chr (97 + p)))
+      done;
+      let vs = vspace_for seg ~pages in
+      (* page 2 becomes resident by demand fetch... *)
+      ignore (read n2 vs ~addr:(2 * Ra.Page.size) ~len:1);
+      (* ...then a sequential run from page 0 re-ships it as an extra,
+         whose install declines because the page is already resident *)
+      ignore (read n2 vs ~addr:0 ~len:1);
+      ignore (read n2 vs ~addr:Ra.Page.size ~len:1);
+      check_bool "page 2 resident" true
+        (Ra.Mmu.resident n2.Ra.Node.mmu seg 2 <> None);
+      (* give any (buggy) fire-and-forget release time to land *)
+      Sim.sleep (Time.ms 100);
+      check_int "no release for a retained copy" 0
+        (Dsm.Dsm_client.copy_releases c2);
+      check_bool "still registered" true
+        (List.mem 2 (Dsm.Dsm_server.copyset_of server seg 2));
+      (* so the writer's invalidation reaches the retained copy *)
+      write n3 vs ~addr:(2 * Ra.Page.size) "Z";
+      Alcotest.(check string)
+        "reader sees the write, not the stale frame" "Z"
+        (read n2 vs ~addr:(2 * Ra.Page.size) ~len:1))
+
+let test_merge_delta_resend_applies_once () =
+  (* a Merge_delta re-sent after a client-visible timeout is a FRESH
+     call, so the transport's exactly-once cache cannot dedup it; the
+     repeated twin-stamp must make the home apply only the difference
+     against what it already combined *)
+  Sim.exec (fun () ->
+      let eng = Sim.engine () in
+      let ether = Net.Ethernet.create eng () in
+      let nd =
+        Ra.Node.create ether ~id:1 ~kind:Ra.Node.Data ~ratp_config:fast_ratp ()
+      in
+      let server = Dsm.Dsm_server.create nd () in
+      let n2 =
+        Ra.Node.create ether ~id:2 ~kind:Ra.Node.Compute
+          ~ratp_config:fast_ratp ()
+      in
+      let seg = Ra.Sysname.fresh nd.Ra.Node.names in
+      Store.Segment_store.create_segment
+        (Dsm.Dsm_server.store server)
+        seg ~size:Ra.Page.size;
+      Dsm.Dsm_server.set_consistency server seg
+        (Ra.Partition.Commutative Ra.Partition.Add);
+      let word0 () =
+        match
+          Store.Segment_store.read_page (Dsm.Dsm_server.store server) seg 0
+        with
+        | Ra.Partition.Data b -> Int64.to_int (Bytes.get_int64_le b 0)
+        | Ra.Partition.Zeroed -> 0
+      in
+      let send body =
+        Ratp.Endpoint.call n2.Ra.Node.endpoint ~dst:1 ~service:P.service
+          ~size:(P.request_bytes body) body
+      in
+      let delta v =
+        let b = Bytes.make Ra.Page.size '\000' in
+        Bytes.set_int64_le b 0 (Int64.of_int v);
+        b
+      in
+      (* the first flush lands but (say) its reply is lost *)
+      ignore (send (P.Merge_delta [ (seg, 0, 7, delta 5) ]));
+      check_int "applied once" 5 (word0 ());
+      (* the re-sent flush repeats stamp 7; its delta grew by 3 (new
+         writes since, diffed against the same unchanged twin) *)
+      ignore (send (P.Merge_delta [ (seg, 0, 7, delta 8) ]));
+      check_int "difference applied, not the sum" 8 (word0 ());
+      (* the next scope flushes under a fresh stamp: full apply *)
+      ignore (send (P.Merge_delta [ (seg, 0, 8, delta 2) ]));
+      check_int "fresh stamp applies fully" 10 (word0 ());
+      (* a missing segment fails the whole batch instead of silently
+         dropping entries while replying success *)
+      let ghost = Ra.Sysname.fresh nd.Ra.Node.names in
+      (match send (P.Merge_delta [ (ghost, 0, 9, delta 1) ]) with
+      | Ok P.Segment_error -> ()
+      | _ -> Alcotest.fail "Merge_delta to a missing segment must error");
+      match send (P.Put_diffs [ (ghost, 0, [ (0, Bytes.make 8 'x') ]) ]) with
+      | Ok P.Segment_error -> ()
+      | _ -> Alcotest.fail "Put_diffs to a missing segment must error")
+
 let () =
   Alcotest.run "dsm"
     [
@@ -1106,6 +1222,8 @@ let () =
             test_commutative_converges_under_loss;
           Alcotest.test_case "one-copy same seed identical" `Quick
             test_one_copy_same_seed_identical;
+          Alcotest.test_case "merge delta resend applies once" `Quick
+            test_merge_delta_resend_applies_once;
         ] );
       ( "copyset",
         [
@@ -1113,6 +1231,8 @@ let () =
             test_drop_segment_releases_copyset;
           Alcotest.test_case "declined prefetch releases copyset" `Quick
             test_declined_prefetch_releases_copyset;
+          Alcotest.test_case "resident extra keeps registration" `Quick
+            test_resident_extra_decline_keeps_registration;
         ] );
       ( "locks",
         [

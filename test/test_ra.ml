@@ -427,12 +427,14 @@ let test_mmu_install_read () =
   with_small_mmu ~max_frames:2 (fun mmu vs seg _pages fetches ->
       let img = Bytes.make Page.size 'p' in
       check_bool "installs into a free frame" true
-        (Mmu.install_read mmu seg 0 img);
+        (Mmu.install_read mmu seg 0 img = Mmu.Installed);
       check_bool "resident read-mode" true
         (Mmu.resident mmu seg 0 = Some Partition.Read);
       check_int "one prefetch" 1 (Mmu.prefetches mmu);
-      check_bool "no second install on a resident page" false
-        (Mmu.install_read mmu seg 0 img);
+      (* a resident page declines as Retained: the copy (and its
+         copyset registration) stays live *)
+      check_bool "no second install on a resident page" true
+        (Mmu.install_read mmu seg 0 img = Mmu.Retained);
       (* the installed copy serves reads without any fetch *)
       Alcotest.(check string)
         "contents visible" "pppp"
@@ -442,8 +444,10 @@ let test_mmu_install_read () =
       (* at the frame budget, speculation must not evict *)
       ignore (Mmu.read mmu vs ~addr:Page.size ~len:1);
       check_int "budget full" 2 (Mmu.resident_frames mmu);
-      check_bool "install refused at budget" false
-        (Mmu.install_read mmu seg 2 img);
+      (* the budget decline keeps nothing, so the caller must release
+         its registration *)
+      check_bool "install refused at budget" true
+        (Mmu.install_read mmu seg 2 img = Mmu.No_copy);
       check_int "nothing evicted for speculation" 0 (Mmu.evictions mmu))
 
 (* ------------------------------------------------------------------ *)
